@@ -1,0 +1,42 @@
+//! Cost of the three expected-collision computations: the log-space exact
+//! formula, the big-float Algorithm 5 (the paper's "BigInts" route), and the
+//! fast Algorithm 6 approximation — quantifying why Algorithm 6 exists.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hmh_core::collisions::{
+    approx_expected_collisions, expected_collisions, expected_collisions_bigfloat,
+};
+use hmh_core::HmhParams;
+
+fn bench_collisions(c: &mut Criterion) {
+    let params = HmhParams::figure6(); // r=4 keeps the bigfloat loop sane
+    let n = 1u128 << 30;
+
+    let mut group = c.benchmark_group("expected_collisions");
+    group.bench_function("logspace_exact", |b| {
+        b.iter(|| expected_collisions(black_box(params), black_box(n as f64), n as f64))
+    });
+    group.bench_function("bigfloat_alg5_192bit", |b| {
+        b.iter(|| expected_collisions_bigfloat(black_box(params), black_box(n), n, 192))
+    });
+    group.bench_function("approx_alg6", |b| {
+        b.iter(|| approx_expected_collisions(black_box(params), black_box(n as f64), n as f64))
+    });
+    // The headline parameterization only for the f64 paths (the bigfloat
+    // loop at r=10 is minutes-scale by design — the paper's point).
+    let headline = HmhParams::headline();
+    group.bench_function("logspace_exact_headline", |b| {
+        b.iter(|| expected_collisions(black_box(headline), 1e19, 1e19))
+    });
+    group.bench_function("approx_alg6_headline", |b| {
+        b.iter(|| approx_expected_collisions(black_box(headline), 1e19, 1e19))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collisions
+);
+criterion_main!(benches);

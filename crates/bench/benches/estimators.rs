@@ -1,0 +1,48 @@
+//! HLL estimator costs: FFGM07 vs Ertl-improved vs Poisson-MLE vs the
+//! joint-MLE intersection machinery — the price column of the §1.3
+//! comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hmh_hll::estimators::{ertl_improved, ertl_mle, ffgm};
+use hmh_hll::{inclusion_exclusion, joint_mle, HyperLogLog};
+
+fn build_pair() -> (HyperLogLog, HyperLogLog) {
+    let mut a = HyperLogLog::new(12);
+    let mut b = HyperLogLog::new(12);
+    for i in 0..200_000u64 {
+        a.insert(&i);
+        b.insert(&(i + 100_000));
+    }
+    (a, b)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let (a, b) = build_pair();
+    let hist = a.histogram();
+
+    let mut group = c.benchmark_group("hll_estimators");
+    group.bench_function("ffgm", |bch| bch.iter(|| ffgm(black_box(&hist))));
+    group.bench_function("ertl_improved", |bch| bch.iter(|| ertl_improved(black_box(&hist))));
+    group.bench_function("ertl_mle", |bch| bch.iter(|| ertl_mle(black_box(&hist))));
+    group.finish();
+
+    let mut group = c.benchmark_group("hll_intersection");
+    group.sample_size(10);
+    group.bench_function("inclusion_exclusion", |bch| {
+        bch.iter(|| {
+            inclusion_exclusion(
+                black_box(&a),
+                black_box(&b),
+                hmh_hll::estimators::EstimatorKind::ErtlImproved,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("joint_mle", |bch| {
+        bch.iter(|| joint_mle(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

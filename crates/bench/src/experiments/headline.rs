@@ -1,0 +1,105 @@
+//! **Claim A (abstract / §5)** — with `p=15, q=6, r=10` (64 KiB per
+//! sketch), HyperMinHash estimates "Jaccard indices of 0.01 for set
+//! cardinalities on the order of 10^19 with relative error of around 10%
+//! … MinHash can only estimate Jaccard indices for cardinalities of 10^10
+//! with the same memory consumption."
+//!
+//! Both sketches get exactly 64 KiB: HyperMinHash `2^15 × 16` bits,
+//! MinHash `2^15` buckets × 16-bit truncated registers (which exhausts
+//! its 2^-16 truncation resolution near n ≈ 2^31 — the "10^10" order of
+//! magnitude the paper quotes). Cardinalities sweep 10^8 … 10^19
+//! (simulated; see `hmh-simulate`), J ∈ {0.01, 0.1}, collision-corrected
+//! estimates for HyperMinHash (the paper's headline accuracy assumes
+//! debiasing at J this small).
+
+use super::Config;
+use crate::table::{fnum, Table};
+use hmh_core::jaccard::{jaccard, CollisionCorrection};
+use hmh_core::HmhParams;
+use hmh_math::stats::relative_error;
+use hmh_math::Welford;
+use hmh_simulate::minhash_sim::simulate_kpartition_pair;
+use hmh_simulate::{simulate_hmh_pair, simulate_hmh_single, SimSpec};
+
+/// Run the experiment for one target Jaccard index.
+pub fn run_for_jaccard(cfg: &Config, truth: f64) -> Table {
+    let params = HmhParams::headline();
+    let mut table = Table::new(
+        format!("Headline: 64 KiB sketches, J = {truth}, relative errors vs cardinality"),
+        &["n", "hmh_jaccard_re", "hmh_cardinality_re", "minhash64k_jaccard_re"],
+    );
+    let exponents: Vec<i32> = if cfg.quick { vec![8, 14, 19] } else { (8..=19).collect() };
+    for (i, e) in exponents.into_iter().enumerate() {
+        let n = 10f64.powi(e);
+        let spec = SimSpec::equal_sized_with_jaccard(n, truth);
+        let mut rng = cfg.rng(i as u64 + 1000);
+        let (mut jerr, mut cerr, mut merr) = (Welford::new(), Welford::new(), Welford::new());
+        for _ in 0..cfg.trials {
+            let (a, b) = simulate_hmh_pair(params, spec, &mut rng);
+            let est = jaccard(&a, &b, CollisionCorrection::Approx).expect("same params");
+            jerr.add(relative_error(est.estimate, truth));
+
+            let single = simulate_hmh_single(params, n, &mut rng);
+            cerr.add(relative_error(single.cardinality(), n));
+
+            let (ma, mb) = simulate_kpartition_pair(15, 16, spec, &mut rng);
+            merr.add(relative_error(ma.jaccard(&mb).expect("same params"), truth));
+        }
+        table.push_row(vec![
+            format!("1e{e}"),
+            fnum(jerr.mean()),
+            fnum(cerr.mean()),
+            fnum(merr.mean()),
+        ]);
+    }
+    table
+}
+
+/// Run both headline Jaccard targets.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    vec![run_for_jaccard(cfg, 0.01), run_for_jaccard(cfg, 0.1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_claim_holds_at_1e19() {
+        let cfg = Config { trials: 10, seed: 7, quick: true };
+        let t = run_for_jaccard(&cfg, 0.01);
+        let last = t.num_rows() - 1;
+        assert_eq!(t.cell(last, 0), "1e19");
+        // "relative error of around 10%" — allow up to 25% at smoke scale.
+        let hmh = t.cell_f64(last, t.col("hmh_jaccard_re"));
+        assert!(hmh < 0.25, "HMH error at 1e19: {hmh}");
+        // MinHash is long dead at 1e19 (all registers zero → J ≈ 1 →
+        // relative error ≈ (1-0.01)/0.01 ≈ 99).
+        let mh = t.cell_f64(last, t.col("minhash64k_jaccard_re"));
+        assert!(mh > 10.0, "MinHash error at 1e19: {mh}");
+        // Cardinality stays calibrated.
+        let card = t.cell_f64(last, t.col("hmh_cardinality_re"));
+        assert!(card < 0.05, "cardinality error at 1e19: {card}");
+    }
+
+    #[test]
+    fn minhash_dies_between_1e8_and_1e19() {
+        // The paper's contrast point: with 64 KiB, MinHash only reaches
+        // ~10^9-10^10. 16-bit registers over 2^15 buckets → truncation
+        // resolution 2^-16 and per-bucket minima ~2^15/n ⇒ workable until
+        // n ≈ 2^31 ≈ 2e9. Check the collapse between 1e8 and 1e19 while
+        // HyperMinHash stays flat.
+        let cfg = Config { trials: 10, seed: 8, quick: true };
+        let t = run_for_jaccard(&cfg, 0.1);
+        let mh = t.col("minhash64k_jaccard_re");
+        let at_1e8 = t.cell_f64(0, mh);
+        let at_1e19 = t.cell_f64(t.num_rows() - 1, mh);
+        assert!(at_1e8 < 0.3, "MinHash should still work at 1e8: {at_1e8}");
+        assert!(at_1e19 > 2.0, "MinHash should be dead at 1e19: {at_1e19}");
+        let hmh = t.col("hmh_jaccard_re");
+        assert!(
+            t.cell_f64(t.num_rows() - 1, hmh) < 3.0 * t.cell_f64(0, hmh).max(0.05),
+            "HyperMinHash should stay flat across the sweep"
+        );
+    }
+}

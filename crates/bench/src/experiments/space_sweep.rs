@@ -1,0 +1,97 @@
+//! **Space law** — the paper's error structure: MinHash-style sampling
+//! noise `∝ 1/√(2^p)` plus the collision floor `∝ 1/2^r` (§5: variance
+//! "on the order of k/t … it also introduces 1/l² variance, where
+//! l = 2^r"). At a fixed byte budget, `p` and `r` trade off; this sweep
+//! maps the trade-off surface.
+
+use super::Config;
+use crate::table::{fnum, Table};
+use hmh_core::jaccard::{jaccard, CollisionCorrection};
+use hmh_core::HmhParams;
+use hmh_math::stats::relative_error;
+use hmh_math::Welford;
+use hmh_simulate::{simulate_hmh_pair, SimSpec};
+
+/// For a byte budget and register width `q + r`, the largest legal `p`.
+fn p_for_budget(bytes: usize, word_bits: u32) -> Option<u32> {
+    let total_bits = bytes * 8;
+    let buckets = total_bits / word_bits as usize;
+    if buckets == 0 {
+        return None;
+    }
+    Some(buckets.ilog2())
+}
+
+/// Run the sweep at fixed `n = 10^6`, `J = 0.1`, `q = 6`.
+pub fn run(cfg: &Config) -> Table {
+    let q = 6u32;
+    let n = 1e6;
+    let truth = 0.1;
+    let mut table = Table::new(
+        "Space sweep: mean relative Jaccard error by byte budget and r (q=6, n=1e6, J=0.1)",
+        &["bytes", "r", "p", "params", "mean_re"],
+    );
+    let budgets: Vec<usize> =
+        if cfg.quick { vec![1024, 16384] } else { vec![256, 1024, 4096, 16384, 65536] };
+    let rs: Vec<u32> = if cfg.quick { vec![4, 10] } else { vec![2, 4, 6, 8, 10, 12, 16] };
+    let mut salt = 5000u64;
+    for bytes in budgets {
+        for &r in &rs {
+            let Some(p) = p_for_budget(bytes, q + r) else { continue };
+            let Ok(params) = HmhParams::new(p.min(24), q, r) else { continue };
+            let spec = SimSpec::equal_sized_with_jaccard(n, truth);
+            let mut err = Welford::new();
+            let mut rng = cfg.rng(salt);
+            salt += 1;
+            for _ in 0..cfg.trials {
+                let (a, b) = simulate_hmh_pair(params, spec, &mut rng);
+                let est = jaccard(&a, &b, CollisionCorrection::Approx).expect("same params");
+                err.add(relative_error(est.estimate, truth));
+            }
+            table.push_row(vec![
+                format!("{bytes}"),
+                format!("{r}"),
+                format!("{}", params.p()),
+                params.to_string(),
+                fnum(err.mean()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_for_budget_math() {
+        assert_eq!(p_for_budget(256, 8), Some(8)); // figure 6
+        assert_eq!(p_for_budget(65536, 16), Some(15)); // headline
+        assert_eq!(p_for_budget(0, 8), None);
+    }
+
+    #[test]
+    fn more_bytes_help_and_extreme_r_hurts() {
+        let cfg = Config { trials: 25, seed: 17, quick: false };
+        let t = run(&cfg);
+        let re = t.col("mean_re");
+        // Group rows by (bytes, r).
+        let lookup = |bytes: &str, r: &str| -> f64 {
+            (0..t.num_rows())
+                .find(|&row| t.cell(row, 0) == bytes && t.cell(row, 1) == r)
+                .map(|row| t.cell_f64(row, re))
+                .expect("row present")
+        };
+        // At r = 10, quadrupling the budget must reduce error.
+        assert!(lookup("16384", "10") < lookup("1024", "10"));
+        // At a fixed 1 KiB budget, r = 2 has a collision floor far above
+        // r = 10's sampling noise.
+        assert!(
+            lookup("1024", "2") > lookup("1024", "10"),
+            "r=2: {}, r=10: {}",
+            lookup("1024", "2"),
+            lookup("1024", "10")
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see EXPERIMENTS.md at the workspace root for the index and
+//! the recorded paper-vs-measured outcomes).
+//!
+//! The `repro` binary (in `src/bin/repro.rs`) exposes one subcommand per
+//! experiment; each experiment lives in [`experiments`] as a pure function
+//! from a config to a [`table::Table`], so integration tests can run
+//! scaled-down versions and assert on the shapes the paper claims.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,11 @@
+//! Thin binary wrapper over `hmh_cli::run`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = hmh_cli::run(&args, &mut out) {
+        eprintln!("hmh: {}", e.message);
+        std::process::exit(e.code);
+    }
+}

@@ -1,0 +1,479 @@
+//! `hmh` — a command-line tool for HyperMinHash sketches.
+//!
+//! Builds sketches from line-oriented data (one set element per line),
+//! stores them in the compact binary format (`hmh-core::format`), and
+//! answers the paper's query repertoire from the sketches alone:
+//!
+//! ```text
+//! hmh sketch -p 12 -q 6 -r 10 -o day1.hmh access-day1.log
+//! hmh sketch -p 12 -q 6 -r 10 -o day2.hmh access-day2.log
+//! hmh card day1.hmh day2.hmh
+//! hmh jaccard day1.hmh day2.hmh
+//! hmh union -o both.hmh day1.hmh day2.hmh
+//! hmh query '(a | b) & c' a=day1.hmh b=day2.hmh c=day3.hmh
+//! ```
+//!
+//! All command logic lives in [`run`] (taking the output stream as a
+//! parameter) so the test suite drives the real code paths; the binary is
+//! a thin wrapper.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hmh_cnf::{eval, SketchCatalog};
+use hmh_core::format::{decode, encode};
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_hash::{HashAlgorithm, RandomOracle};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// CLI failure: a message and a suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code to use.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self { message: message.into(), code: 2 }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        Self { message: message.into(), code: 1 }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: hmh <command> [options]
+
+commands:
+  sketch  [-p P] [-q Q] [-r R] [--seed S] [--alg A] -o OUT [FILE]
+          build a sketch from lines of FILE (or stdin); A in
+          murmur3|sha1|xxpair|splitmix (default murmur3)
+  info    FILE...             print parameters and occupancy
+  card    FILE...             print cardinality estimates
+  union   -o OUT FILE...      merge sketches losslessly
+  jaccard A B                 Jaccard index of two sketches
+  intersect A B               intersection cardinality of two sketches
+  query   EXPR NAME=FILE...   CNF query, e.g. '(a | b) & c'
+";
+
+/// Run the CLI with pre-split arguments (no program name), writing results
+/// to `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    match command.as_str() {
+        "sketch" => cmd_sketch(rest, out),
+        "info" => cmd_info(rest, out),
+        "card" => cmd_card(rest, out),
+        "union" => cmd_union(rest, out),
+        "jaccard" => cmd_pairwise(rest, out, Pairwise::Jaccard),
+        "intersect" => cmd_pairwise(rest, out, Pairwise::Intersect),
+        "query" => cmd_query(rest, out),
+        "--help" | "-h" | "help" => {
+            write_out(out, USAGE)?;
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+fn write_out(out: &mut dyn Write, text: impl AsRef<str>) -> Result<(), CliError> {
+    out.write_all(text.as_ref().as_bytes())
+        .map_err(|e| CliError::runtime(format!("write failed: {e}")))
+}
+
+fn load(path: &str) -> Result<HyperMinHash, CliError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    decode(&bytes).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn store(path: &str, sketch: &HyperMinHash) -> Result<(), CliError> {
+    std::fs::write(path, encode(sketch))
+        .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))
+}
+
+fn parse_algorithm(name: &str) -> Result<HashAlgorithm, CliError> {
+    Ok(match name {
+        "murmur3" => HashAlgorithm::Murmur3,
+        "sha1" => HashAlgorithm::Sha1,
+        "xxpair" => HashAlgorithm::XxPair,
+        "splitmix" => HashAlgorithm::SplitMix,
+        other => return Err(CliError::usage(format!("unknown algorithm {other:?}"))),
+    })
+}
+
+fn cmd_sketch(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (mut p, mut q, mut r) = (12u32, 6u32, 10u32);
+    let mut seed = 0u64;
+    let mut algorithm = HashAlgorithm::Murmur3;
+    let mut output: Option<String> = None;
+    let mut input: Option<String> = None;
+
+    let mut i = 0;
+    let need = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i).cloned().ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-p" => {
+                i += 1;
+                p = need(args, i, "-p")?.parse().map_err(|e| CliError::usage(format!("-p: {e}")))?;
+            }
+            "-q" => {
+                i += 1;
+                q = need(args, i, "-q")?.parse().map_err(|e| CliError::usage(format!("-q: {e}")))?;
+            }
+            "-r" => {
+                i += 1;
+                r = need(args, i, "-r")?.parse().map_err(|e| CliError::usage(format!("-r: {e}")))?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = need(args, i, "--seed")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--seed: {e}")))?;
+            }
+            "--alg" => {
+                i += 1;
+                algorithm = parse_algorithm(&need(args, i, "--alg")?)?;
+            }
+            "-o" => {
+                i += 1;
+                output = Some(need(args, i, "-o")?);
+            }
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
+        }
+        i += 1;
+    }
+    let output = output.ok_or_else(|| CliError::usage("sketch needs -o OUT"))?;
+    let params =
+        HmhParams::new(p, q, r).map_err(|e| CliError::usage(format!("bad parameters: {e}")))?;
+    let mut sketch = HyperMinHash::with_oracle(params, RandomOracle::new(algorithm, seed));
+
+    let mut lines = 0u64;
+    let mut feed = |reader: &mut dyn BufRead| -> Result<(), CliError> {
+        for line in reader.lines() {
+            let line = line.map_err(|e| CliError::runtime(format!("read failed: {e}")))?;
+            let item = line.trim();
+            if !item.is_empty() {
+                sketch.insert(&item);
+                lines += 1;
+            }
+        }
+        Ok(())
+    };
+    match &input {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?;
+            feed(&mut std::io::BufReader::new(file))?;
+        }
+        None => feed(&mut std::io::stdin().lock())?,
+    }
+    store(&output, &sketch)?;
+    write_out(
+        out,
+        format!(
+            "{output}: {params}, {} lines consumed, {} buckets occupied, estimate {:.0}\n",
+            lines,
+            sketch.occupied(),
+            sketch.cardinality()
+        ),
+    )
+}
+
+fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    if args.is_empty() {
+        return Err(CliError::usage("info needs at least one sketch file"));
+    }
+    for path in args {
+        let s = load(path)?;
+        let params = s.params();
+        write_out(
+            out,
+            format!(
+                "{path}: {params}, {} bytes, oracle {:?}/seed {}, {}/{} buckets occupied\n",
+                params.byte_size(),
+                s.oracle().algorithm(),
+                s.oracle().seed(),
+                s.occupied(),
+                params.num_buckets()
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_card(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    if args.is_empty() {
+        return Err(CliError::usage("card needs at least one sketch file"));
+    }
+    for path in args {
+        let s = load(path)?;
+        write_out(out, format!("{path}: {:.0}\n", s.cardinality()))?;
+    }
+    Ok(())
+}
+
+fn cmd_union(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut output: Option<String> = None;
+    let mut inputs: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "-o" {
+            i += 1;
+            output = Some(
+                args.get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::usage("-o needs a value"))?,
+            );
+        } else {
+            inputs.push(&args[i]);
+        }
+        i += 1;
+    }
+    let output = output.ok_or_else(|| CliError::usage("union needs -o OUT"))?;
+    let [first, rest @ ..] = inputs.as_slice() else {
+        return Err(CliError::usage("union needs at least one input sketch"));
+    };
+    let mut acc = load(first)?;
+    for path in rest {
+        let next = load(path)?;
+        acc.merge(&next).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    store(&output, &acc)?;
+    write_out(out, format!("{output}: union of {} sketches, estimate {:.0}\n", inputs.len(), acc.cardinality()))
+}
+
+enum Pairwise {
+    Jaccard,
+    Intersect,
+}
+
+fn cmd_pairwise(args: &[String], out: &mut dyn Write, kind: Pairwise) -> Result<(), CliError> {
+    let [a, b] = args else {
+        return Err(CliError::usage("expected exactly two sketch files"));
+    };
+    let (sa, sb) = (load(a)?, load(b)?);
+    match kind {
+        Pairwise::Jaccard => {
+            let j = sa.jaccard(&sb).map_err(|e| CliError::runtime(e.to_string()))?;
+            write_out(
+                out,
+                format!(
+                    "jaccard {:.6} (raw {:.6}, {} of {} buckets matching)\n",
+                    j.estimate, j.raw, j.matching, j.occupied
+                ),
+            )
+        }
+        Pairwise::Intersect => {
+            let est = sa.intersection(&sb).map_err(|e| CliError::runtime(e.to_string()))?;
+            write_out(
+                out,
+                format!(
+                    "intersection {:.0} (jaccard {:.6}, union {:.0})\n",
+                    est.intersection, est.jaccard, est.union
+                ),
+            )
+        }
+    }
+}
+
+fn cmd_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [expr, bindings @ ..] = args else {
+        return Err(CliError::usage("query needs an expression and NAME=FILE bindings"));
+    };
+    if bindings.is_empty() {
+        return Err(CliError::usage("query needs at least one NAME=FILE binding"));
+    }
+    let mut catalog: Option<SketchCatalog> = None;
+    for binding in bindings {
+        let Some((name, path)) = binding.split_once('=') else {
+            return Err(CliError::usage(format!("binding {binding:?} is not NAME=FILE")));
+        };
+        let sketch = load(path)?;
+        let cat = catalog.get_or_insert_with(|| SketchCatalog::new(sketch.params()));
+        cat.adopt(name, sketch).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    let catalog = catalog.expect("bindings checked non-empty");
+    let answer =
+        eval::query(&catalog, expr).map_err(|e| CliError::runtime(format!("query failed: {e}")))?;
+    write_out(
+        out,
+        format!(
+            "count {:.0} (jaccard {:.6}, clause union {:.0})\n",
+            answer.count, answer.jaccard, answer.union
+        ),
+    )
+}
+
+/// Test helper: run with string args against a buffer, returning output.
+pub fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    run(&args, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("utf8 output"))
+}
+
+/// Test helper: write `lines` to `path` as a line-per-item data file.
+pub fn write_lines(path: &Path, lines: impl IntoIterator<Item = String>) -> std::io::Result<()> {
+    let mut content = String::new();
+    for l in lines {
+        content.push_str(&l);
+        content.push('\n');
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("hmh-cli-test-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        fn path(&self, name: &str) -> String {
+            self.0.join(name).to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn build(dir: &TempDir, name: &str, lo: u64, hi: u64) -> String {
+        let data = dir.path(&format!("{name}.txt"));
+        write_lines(Path::new(&data), (lo..hi).map(|i| format!("user-{i}"))).unwrap();
+        let out = dir.path(&format!("{name}.hmh"));
+        run_to_string(&["sketch", "-p", "11", "-q", "6", "-r", "10", "-o", &out, &data]).unwrap();
+        out
+    }
+
+    #[test]
+    fn sketch_card_jaccard_end_to_end() {
+        let dir = TempDir::new("e2e");
+        let a = build(&dir, "a", 0, 30_000);
+        let b = build(&dir, "b", 15_000, 45_000);
+
+        let card = run_to_string(&["card", &a]).unwrap();
+        let estimate: f64 = card.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((estimate / 30_000.0 - 1.0).abs() < 0.08, "{card}");
+
+        let j = run_to_string(&["jaccard", &a, &b]).unwrap();
+        let value: f64 = j.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((value - 1.0 / 3.0).abs() < 0.05, "{j}");
+
+        let i = run_to_string(&["intersect", &a, &b]).unwrap();
+        let value: f64 = i.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((value / 15_000.0 - 1.0).abs() < 0.15, "{i}");
+    }
+
+    #[test]
+    fn union_and_query() {
+        let dir = TempDir::new("union");
+        let a = build(&dir, "a", 0, 10_000);
+        let b = build(&dir, "b", 5_000, 15_000);
+        let c = build(&dir, "c", 8_000, 20_000);
+
+        let merged = dir.path("ab.hmh");
+        run_to_string(&["union", "-o", &merged, &a, &b]).unwrap();
+        let card = run_to_string(&["card", &merged]).unwrap();
+        let estimate: f64 = card.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((estimate / 15_000.0 - 1.0).abs() < 0.08, "{card}");
+
+        // (a | b) & c = [8k, 15k) → 7k.
+        let q = run_to_string(&[
+            "query",
+            "(a | b) & c",
+            &format!("a={a}"),
+            &format!("b={b}"),
+            &format!("c={c}"),
+        ])
+        .unwrap();
+        let count: f64 = q.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((count / 7_000.0 - 1.0).abs() < 0.2, "{q}");
+    }
+
+    #[test]
+    fn info_reports_parameters() {
+        let dir = TempDir::new("info");
+        let a = build(&dir, "a", 0, 100);
+        let info = run_to_string(&["info", &a]).unwrap();
+        assert!(info.contains("HmhParams(p=11, q=6, r=10)"), "{info}");
+        assert!(info.contains("Murmur3"), "{info}");
+    }
+
+    #[test]
+    fn blank_and_duplicate_lines() {
+        let dir = TempDir::new("blank");
+        let data = dir.path("d.txt");
+        std::fs::write(&data, "x\n\n  \nx\ny\nx\n").unwrap();
+        let out = dir.path("d.hmh");
+        let msg =
+            run_to_string(&["sketch", "-p", "8", "-q", "4", "-r", "4", "-o", &out, &data]).unwrap();
+        assert!(msg.contains("4 lines consumed"), "{msg}");
+        let card = run_to_string(&["card", &out]).unwrap();
+        let estimate: f64 = card.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((1.0..=3.0).contains(&estimate), "two distinct items: {card}");
+    }
+
+    #[test]
+    fn incompatible_sketches_fail_cleanly() {
+        let dir = TempDir::new("mismatch");
+        let a = build(&dir, "a", 0, 100);
+        let data = dir.path("other.txt");
+        write_lines(Path::new(&data), (0..100).map(|i| format!("user-{i}"))).unwrap();
+        let other = dir.path("other.hmh");
+        run_to_string(&["sketch", "-p", "9", "-q", "6", "-r", "10", "-o", &other, &data]).unwrap();
+        let err = run_to_string(&["jaccard", &a, &other]).unwrap_err();
+        assert!(err.message.contains("mismatch"), "{err:?}");
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert_eq!(run_to_string(&[]).unwrap_err().code, 2);
+        assert_eq!(run_to_string(&["frobnicate"]).unwrap_err().code, 2);
+        assert_eq!(run_to_string(&["sketch"]).unwrap_err().code, 2, "missing -o");
+        assert_eq!(run_to_string(&["jaccard", "only-one"]).unwrap_err().code, 2);
+        assert_eq!(run_to_string(&["query", "a & b"]).unwrap_err().code, 2, "no bindings");
+        assert!(run_to_string(&["card", "/no/such/file.hmh"]).is_err());
+        assert!(run_to_string(&["help"]).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn corrupt_file_reports_format_error() {
+        let dir = TempDir::new("corrupt");
+        let path = dir.path("bad.hmh");
+        std::fs::write(&path, b"not a sketch at all").unwrap();
+        let err = run_to_string(&["card", &path]).unwrap_err();
+        assert!(err.message.contains("magic") || err.message.contains("truncated"), "{err:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! A named collection of compatible HyperMinHash sketches.
+
+use crate::error::CnfError;
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_hash::HashableItem;
+use std::collections::BTreeMap;
+
+/// A catalog of named sketches sharing parameters and oracle, the target
+/// of CNF queries. In a production deployment this is the "sketch per
+/// attribute-value column" layout the paper's survey/DDoS examples imply.
+#[derive(Debug, Clone)]
+pub struct SketchCatalog {
+    params: HmhParams,
+    oracle: hmh_hash::RandomOracle,
+    sketches: BTreeMap<String, HyperMinHash>,
+}
+
+impl SketchCatalog {
+    /// Empty catalog; every sketch created through it shares `params` and
+    /// the default oracle.
+    pub fn new(params: HmhParams) -> Self {
+        Self::with_oracle(params, hmh_hash::RandomOracle::default())
+    }
+
+    /// Empty catalog with an explicit shared oracle.
+    pub fn with_oracle(params: HmhParams, oracle: hmh_hash::RandomOracle) -> Self {
+        Self { params, oracle, sketches: BTreeMap::new() }
+    }
+
+    /// The common parameters.
+    pub fn params(&self) -> HmhParams {
+        self.params
+    }
+
+    /// Number of named sketches.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// True iff no sketches.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.sketches.keys().map(String::as_str)
+    }
+
+    /// Insert one item into the named sketch, creating it on first use.
+    pub fn insert<T: HashableItem + ?Sized>(&mut self, name: &str, item: &T) {
+        self.sketch_mut(name).insert(item);
+    }
+
+    /// Bulk-insert items into the named sketch.
+    pub fn insert_all<T: HashableItem, I: IntoIterator<Item = T>>(&mut self, name: &str, items: I) {
+        let sketch = self.sketch_mut(name);
+        for item in items {
+            sketch.insert(&item);
+        }
+    }
+
+    /// Adopt an externally built sketch.
+    ///
+    /// # Errors
+    /// If its parameters or oracle differ from the catalog's.
+    pub fn adopt(&mut self, name: impl Into<String>, sketch: HyperMinHash) -> Result<(), CnfError> {
+        let probe = HyperMinHash::with_oracle(self.params, self.oracle);
+        probe.check_compatible(&sketch)?;
+        self.sketches.insert(name.into(), sketch);
+        Ok(())
+    }
+
+    /// Look up a sketch.
+    pub fn get(&self, name: &str) -> Result<&HyperMinHash, CnfError> {
+        self.sketches.get(name).ok_or_else(|| CnfError::UnknownSet { name: name.to_string() })
+    }
+
+    fn sketch_mut(&mut self, name: &str) -> &mut HyperMinHash {
+        self.sketches
+            .entry(name.to_string())
+            .or_insert_with(|| HyperMinHash::with_oracle(self.params, self.oracle))
+    }
+
+    /// Total memory of all sketches in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.sketches.len() * self.params.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HmhParams {
+        HmhParams::new(8, 4, 6).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut cat = SketchCatalog::new(params());
+        cat.insert_all("evens", (0..1000u64).map(|i| i * 2));
+        cat.insert("odds", &1u64);
+        assert_eq!(cat.len(), 2);
+        assert!(cat.get("evens").is_ok());
+        assert_eq!(
+            cat.get("missing").unwrap_err(),
+            CnfError::UnknownSet { name: "missing".into() }
+        );
+        assert_eq!(cat.names().collect::<Vec<_>>(), vec!["evens", "odds"]);
+    }
+
+    #[test]
+    fn adopt_checks_compatibility() {
+        let mut cat = SketchCatalog::new(params());
+        let good = HyperMinHash::new(params());
+        assert!(cat.adopt("ok", good).is_ok());
+        let bad = HyperMinHash::new(HmhParams::new(9, 4, 6).unwrap());
+        assert!(matches!(cat.adopt("bad", bad), Err(CnfError::Sketch(_))));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut cat = SketchCatalog::new(params());
+        cat.insert("a", &1u64);
+        cat.insert("b", &2u64);
+        assert_eq!(cat.byte_size(), 2 * params().byte_size());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for CNF parsing and evaluation.
+
+/// Errors from parsing or evaluating a CNF query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CnfError {
+    /// The query string failed to parse.
+    Parse {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A variable references a sketch the catalog does not have.
+    UnknownSet {
+        /// The missing name.
+        name: String,
+    },
+    /// The query has no clauses (or a clause has no variables).
+    EmptyQuery,
+    /// A sketch operation failed (incompatible parameters/oracles).
+    Sketch(hmh_core::HmhError),
+}
+
+impl std::fmt::Display for CnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse { at, message } => write!(f, "parse error at byte {at}: {message}"),
+            Self::UnknownSet { name } => write!(f, "unknown set '{name}'"),
+            Self::EmptyQuery => write!(f, "empty query"),
+            Self::Sketch(e) => write!(f, "sketch error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CnfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Sketch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hmh_core::HmhError> for CnfError {
+    fn from(e: hmh_core::HmhError) -> Self {
+        Self::Sketch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CnfError::EmptyQuery.to_string().contains("empty"));
+        assert!(CnfError::UnknownSet { name: "x".into() }.to_string().contains("'x'"));
+        let p = CnfError::Parse { at: 3, message: "expected ')'".into() };
+        assert!(p.to_string().contains("byte 3"));
+    }
+}

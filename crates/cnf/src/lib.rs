@@ -1,0 +1,34 @@
+//! Boolean CNF queries over HyperMinHash sketch catalogs.
+//!
+//! The paper's opening motivation: "we consider the design of approximate
+//! streaming sketches to answer questions phrased in conjunctive normal
+//! form (an AND of ORs); this is of course equivalent to estimating the
+//! cardinality of intersections of unions of a collection of sets", with
+//! "error rates bounded by the final result size" (§5).
+//!
+//! HyperMinHash makes this possible because (a) sketches union losslessly,
+//! so each OR-clause collapses to a single sketch, and (b) the k-way
+//! register-agreement rate estimates `|∩ clauses| / |∪ clauses|`, so the
+//! AND costs one Jaccard-style pass — no inclusion–exclusion blow-up.
+//!
+//! * [`ast`] — the query representation and CNF validation.
+//! * [`parser`] — a tiny recursive-descent parser:
+//!   `(a | b) & c` / `(a OR b) AND c`.
+//! * [`catalog`] — a named collection of compatible sketches.
+//! * [`eval`] — evaluation: clause unions, k-way intersection estimate,
+//!   optional inclusion–exclusion cross-check.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod parser;
+
+pub use ast::CnfQuery;
+pub use catalog::SketchCatalog;
+pub use error::CnfError;
+pub use eval::{evaluate, QueryAnswer};
+pub use parser::parse;

@@ -1,0 +1,365 @@
+//! Sparse and adaptive sketch representations.
+//!
+//! A dense headline-parameter sketch costs 64 KiB even for a ten-element
+//! set. Deployments that keep one sketch per attribute value (the paper's
+//! survey/DDoS catalogs) mostly hold *small* sets, so production sketch
+//! stores (HLL in Redis/BigQuery, the Go HyperMinHash port) start sparse —
+//! a sorted list of `(bucket, register)` entries — and promote to the
+//! dense layout once the entry list would outgrow it.
+//!
+//! [`AdaptiveHyperMinHash`] implements that policy losslessly: its register
+//! content is at all times identical to the dense sketch of the same
+//! items, so every estimator gives bit-identical answers (tested).
+
+use crate::error::HmhError;
+use crate::params::HmhParams;
+use crate::registers::{self, Word};
+use crate::sketch::HyperMinHash;
+use hmh_hash::{HashableItem, RandomOracle};
+
+/// A HyperMinHash that stores registers sparsely while small and promotes
+/// itself to the dense layout when that becomes cheaper.
+///
+/// ```
+/// use hmh_core::{AdaptiveHyperMinHash, HmhParams};
+///
+/// let params = HmhParams::headline(); // dense layout would be 64 KiB
+/// let mut sketch = AdaptiveHyperMinHash::new(params);
+/// for i in 0..100u64 {
+///     sketch.insert(&i);
+/// }
+/// assert!(sketch.is_sparse());
+/// assert!(sketch.byte_size() < 1024);
+/// // Identical registers to the dense sketch of the same items:
+/// let dense = sketch.to_dense();
+/// assert_eq!(dense.occupied(), sketch.occupied());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AdaptiveHyperMinHash {
+    params: HmhParams,
+    oracle: RandomOracle,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+enum Repr {
+    /// Sorted by bucket; every stored word is non-zero.
+    Sparse(Vec<(u32, Word)>),
+    Dense(HyperMinHash),
+}
+
+impl AdaptiveHyperMinHash {
+    /// New empty sparse sketch with the default oracle.
+    pub fn new(params: HmhParams) -> Self {
+        Self::with_oracle(params, RandomOracle::default())
+    }
+
+    /// New empty sparse sketch with an explicit oracle.
+    pub fn with_oracle(params: HmhParams, oracle: RandomOracle) -> Self {
+        Self { params, oracle, repr: Repr::Sparse(Vec::new()) }
+    }
+
+    /// The sketch parameters.
+    pub fn params(&self) -> HmhParams {
+        self.params
+    }
+
+    /// The random oracle.
+    pub fn oracle(&self) -> RandomOracle {
+        self.oracle
+    }
+
+    /// True while the sparse layout is in use.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Number of occupied buckets.
+    pub fn occupied(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(entries) => entries.len(),
+            Repr::Dense(d) => d.occupied(),
+        }
+    }
+
+    /// Current memory footprint in bytes: 8 bytes per sparse entry, or the
+    /// packed dense size.
+    pub fn byte_size(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(entries) => entries.len() * std::mem::size_of::<(u32, Word)>(),
+            Repr::Dense(d) => d.byte_size(),
+        }
+    }
+
+    /// Insert one item.
+    pub fn insert<T: HashableItem + ?Sized>(&mut self, item: &T) {
+        let digest = self.oracle.digest(item);
+        let bucket = digest.take_bits(0, self.params.p()) as u32;
+        let (counter, mantissa) =
+            digest.rho_sigma(self.params.p(), self.params.cap(), self.params.r());
+        self.observe(bucket as usize, counter, mantissa as u32);
+    }
+
+    /// Record a register observation directly.
+    pub fn observe(&mut self, bucket: usize, counter: u32, mantissa: u32) {
+        let candidate = registers::pack(self.params, counter, mantissa);
+        match &mut self.repr {
+            Repr::Sparse(entries) => {
+                match entries.binary_search_by_key(&(bucket as u32), |&(b, _)| b) {
+                    Ok(i) => {
+                        if registers::beats(self.params, candidate, entries[i].1) {
+                            entries[i].1 = candidate;
+                        }
+                    }
+                    Err(i) => entries.insert(i, (bucket as u32, candidate)),
+                }
+                self.maybe_promote();
+            }
+            Repr::Dense(d) => d.observe(bucket, counter, mantissa),
+        }
+    }
+
+    /// The packed word of `bucket` (0 = empty).
+    pub fn word(&self, bucket: usize) -> Word {
+        match &self.repr {
+            Repr::Sparse(entries) => entries
+                .binary_search_by_key(&(bucket as u32), |&(b, _)| b)
+                .map(|i| entries[i].1)
+                .unwrap_or(0),
+            Repr::Dense(d) => d.word(bucket),
+        }
+    }
+
+    /// Promote to the dense layout (no-op if already dense).
+    pub fn promote(&mut self) {
+        if let Repr::Sparse(entries) = &self.repr {
+            let mut dense = HyperMinHash::with_oracle(self.params, self.oracle);
+            for &(bucket, word) in entries {
+                let (c, m) = registers::unpack(self.params, word);
+                dense.observe(bucket as usize, c, m);
+            }
+            self.repr = Repr::Dense(dense);
+        }
+    }
+
+    /// Convert into the dense sketch (promoting if needed).
+    pub fn into_dense(mut self) -> HyperMinHash {
+        self.promote();
+        match self.repr {
+            Repr::Dense(d) => d,
+            Repr::Sparse(_) => unreachable!("just promoted"),
+        }
+    }
+
+    /// Materialize the dense equivalent without consuming `self`.
+    pub fn to_dense(&self) -> HyperMinHash {
+        self.clone().into_dense()
+    }
+
+    /// In-place union with another adaptive sketch.
+    pub fn merge(&mut self, other: &Self) -> Result<(), HmhError> {
+        self.check_compatible(other)?;
+        match &other.repr {
+            Repr::Sparse(entries) => {
+                for &(bucket, word) in entries.clone().iter() {
+                    let (c, m) = registers::unpack(self.params, word);
+                    self.observe(bucket as usize, c, m);
+                }
+            }
+            Repr::Dense(d) => {
+                self.promote();
+                if let Repr::Dense(mine) = &mut self.repr {
+                    mine.merge(d)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cardinality estimate (identical to the dense sketch's).
+    pub fn cardinality(&self) -> f64 {
+        match &self.repr {
+            Repr::Dense(d) => d.cardinality(),
+            Repr::Sparse(_) => self.to_dense().cardinality(),
+        }
+    }
+
+    /// Jaccard estimate against another adaptive sketch (identical to the
+    /// dense sketches').
+    pub fn jaccard(&self, other: &Self) -> Result<crate::jaccard::JaccardEstimate, HmhError> {
+        self.check_compatible(other)?;
+        self.to_dense().jaccard(&other.to_dense())
+    }
+
+    fn check_compatible(&self, other: &Self) -> Result<(), HmhError> {
+        if self.params != other.params {
+            return Err(HmhError::ParameterMismatch { left: self.params, right: other.params });
+        }
+        if self.oracle != other.oracle {
+            return Err(HmhError::OracleMismatch);
+        }
+        Ok(())
+    }
+
+    fn maybe_promote(&mut self) {
+        let should = match &self.repr {
+            Repr::Sparse(entries) => {
+                entries.len() * std::mem::size_of::<(u32, Word)>() >= self.params.byte_size()
+            }
+            Repr::Dense(_) => false,
+        };
+        if should {
+            self.promote();
+        }
+    }
+}
+
+impl From<HyperMinHash> for AdaptiveHyperMinHash {
+    fn from(dense: HyperMinHash) -> Self {
+        Self { params: dense.params(), oracle: dense.oracle(), repr: Repr::Dense(dense) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HmhParams {
+        HmhParams::headline()
+    }
+
+    #[test]
+    fn sparse_matches_dense_bit_for_bit() {
+        let p = params();
+        let mut adaptive = AdaptiveHyperMinHash::new(p);
+        let mut dense = HyperMinHash::new(p);
+        for i in 0..500u64 {
+            adaptive.insert(&i);
+            dense.insert(&i);
+        }
+        assert!(adaptive.is_sparse(), "500 items must stay sparse at 64 KiB params");
+        for bucket in 0..p.num_buckets() {
+            assert_eq!(adaptive.word(bucket), dense.word(bucket), "bucket {bucket}");
+        }
+        assert_eq!(adaptive.to_dense(), dense);
+        assert_eq!(adaptive.cardinality(), dense.cardinality());
+    }
+
+    #[test]
+    fn small_sets_are_small() {
+        let p = params(); // dense = 64 KiB
+        let mut s = AdaptiveHyperMinHash::new(p);
+        for i in 0..100u64 {
+            s.insert(&i);
+        }
+        assert!(s.byte_size() <= 100 * 8, "footprint {}", s.byte_size());
+        assert!(s.byte_size() < p.byte_size() / 10);
+    }
+
+    #[test]
+    fn promotion_happens_and_preserves_content() {
+        let p = HmhParams::new(6, 4, 4).unwrap(); // dense = 64 B → promotes fast
+        let mut adaptive = AdaptiveHyperMinHash::new(p);
+        let mut dense = HyperMinHash::new(p);
+        for i in 0..10_000u64 {
+            adaptive.insert(&i);
+            dense.insert(&i);
+        }
+        assert!(!adaptive.is_sparse(), "must have promoted");
+        assert_eq!(adaptive.to_dense(), dense);
+    }
+
+    #[test]
+    fn duplicate_and_order_invariance_in_sparse_mode() {
+        let p = params();
+        let mut a = AdaptiveHyperMinHash::new(p);
+        let mut b = AdaptiveHyperMinHash::new(p);
+        for i in 0..200u64 {
+            a.insert(&i);
+        }
+        for i in (0..200u64).rev() {
+            b.insert(&i);
+            b.insert(&i);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_sparse_sparse_and_sparse_dense() {
+        let p = HmhParams::new(8, 5, 8).unwrap();
+        let mut sparse_a = AdaptiveHyperMinHash::new(p);
+        let mut sparse_b = AdaptiveHyperMinHash::new(p);
+        for i in 0..20u64 {
+            sparse_a.insert(&i);
+        }
+        for i in 10..30u64 {
+            sparse_b.insert(&i);
+        }
+        let mut merged = sparse_a.clone();
+        merged.merge(&sparse_b).unwrap();
+        let direct = {
+            let mut s = AdaptiveHyperMinHash::new(p);
+            for i in 0..30u64 {
+                s.insert(&i);
+            }
+            s
+        };
+        assert_eq!(merged.to_dense(), direct.to_dense());
+
+        // Sparse ∪ dense.
+        let dense_c: AdaptiveHyperMinHash = HyperMinHash::from_items(p, 25..60u64).into();
+        let mut all = merged.clone();
+        all.merge(&dense_c).unwrap();
+        assert!(!all.is_sparse());
+        assert_eq!(all.to_dense(), HyperMinHash::from_items(p, 0..60u64));
+    }
+
+    #[test]
+    fn jaccard_equals_dense_jaccard() {
+        let p = HmhParams::new(10, 6, 10).unwrap();
+        let mut a = AdaptiveHyperMinHash::new(p);
+        let mut b = AdaptiveHyperMinHash::new(p);
+        for i in 0..3000u64 {
+            a.insert(&i);
+        }
+        for i in 1500..4500u64 {
+            b.insert(&i);
+        }
+        let adaptive_j = a.jaccard(&b).unwrap();
+        let dense_j = a.to_dense().jaccard(&b.to_dense()).unwrap();
+        assert_eq!(adaptive_j, dense_j);
+    }
+
+    #[test]
+    fn incompatible_merges_rejected() {
+        let a = AdaptiveHyperMinHash::new(HmhParams::new(8, 4, 4).unwrap());
+        let mut b = AdaptiveHyperMinHash::new(HmhParams::new(8, 4, 6).unwrap());
+        assert!(b.merge(&a).is_err());
+        let mut c = AdaptiveHyperMinHash::with_oracle(
+            HmhParams::new(8, 4, 4).unwrap(),
+            RandomOracle::with_seed(3),
+        );
+        assert!(c.merge(&a).is_err());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_round_trip_both_layouts() {
+        let p = HmhParams::new(7, 4, 4).unwrap();
+        let mut s = AdaptiveHyperMinHash::new(p);
+        for i in 0..5u64 {
+            s.insert(&i);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<AdaptiveHyperMinHash>(&json).unwrap());
+
+        for i in 0..5000u64 {
+            s.insert(&i);
+        }
+        assert!(!s.is_sparse());
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<AdaptiveHyperMinHash>(&json).unwrap());
+    }
+}

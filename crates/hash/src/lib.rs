@@ -1,0 +1,35 @@
+//! Hashing substrate for the HyperMinHash reproduction.
+//!
+//! The paper (Yu & Weber, *HyperMinHash: MinHash in LogLog space*) assumes a
+//! random oracle and notes that "in practice, we generally use a single hash
+//! function, e.g. SHA-1, and use different sets of bits for each of the three
+//! hashes" (Algorithm 1). This crate provides everything the sketches need,
+//! implemented from scratch:
+//!
+//! * [`sha1`] — a complete SHA-1 implementation (the paper's example oracle).
+//! * [`xxhash`] — xxHash64, the fast default for sketching.
+//! * [`murmur3`] — Murmur3 x64 128-bit, used to widen digests to 128 bits.
+//! * [`splitmix`] — SplitMix64 finalizer/mixers for integer keys.
+//! * [`oracle`] — the seeded [`oracle::RandomOracle`] that
+//!   turns arbitrary items into [`bits::Digest128`] values.
+//! * [`bits`] — MSB-first bit-field extraction over 128-bit digests, i.e. the
+//!   "different sets of bits" slicing from Algorithm 1.
+//!
+//! All hash functions are deterministic and portable across platforms
+//! (byte-order independent), so serialized sketches remain mergeable across
+//! machines, which is the shared-randomness assumption the paper makes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bits;
+pub mod murmur3;
+pub mod oracle;
+pub mod sha1;
+pub mod splitmix;
+pub mod traits;
+pub mod xxhash;
+
+pub use bits::Digest128;
+pub use oracle::{HashAlgorithm, RandomOracle};
+pub use traits::{Hash128, Hash64, HashableItem};

@@ -1,0 +1,146 @@
+//! Core hashing traits shared by every sketch in the workspace.
+
+use crate::bits::Digest128;
+
+/// A seeded 64-bit hash function over byte strings.
+///
+/// Implementations must be deterministic: the same `(seed, input)` pair must
+/// produce the same output on every platform. This is the "shared
+/// randomness" assumption of the paper — two parties that agree on a seed
+/// can merge each other's sketches.
+pub trait Hash64 {
+    /// Hash `data` with the given `seed` to a 64-bit digest.
+    fn hash64(data: &[u8], seed: u64) -> u64;
+}
+
+/// A seeded 128-bit hash function over byte strings.
+///
+/// 128 bits are enough for every parameterization the paper considers: the
+/// sketch consumes `p + (2^q - 1) + r` bits, at most `32 + 63 + 16 = 111`
+/// for the widest parameters this crate accepts.
+pub trait Hash128 {
+    /// Hash `data` with the given `seed` to a 128-bit digest.
+    fn hash128(data: &[u8], seed: u64) -> Digest128;
+}
+
+/// Items that can be fed to a sketch.
+///
+/// The sketches hash the item's canonical byte representation. Integers are
+/// encoded little-endian so the encoding is unambiguous and portable.
+pub trait HashableItem {
+    /// Append the canonical byte encoding of `self` to `out`.
+    fn write_bytes(&self, out: &mut Vec<u8>) -> usize;
+
+    /// Return the canonical byte encoding inline when it fits in 16 bytes.
+    ///
+    /// This is the fast path: every integer type fits, so sketch insertion
+    /// of integer streams never allocates.
+    fn as_inline_bytes(&self) -> Option<([u8; 16], usize)> {
+        let _ = self;
+        None
+    }
+}
+
+macro_rules! impl_hashable_int {
+    ($($t:ty),*) => {$(
+        impl HashableItem for $t {
+            fn write_bytes(&self, out: &mut Vec<u8>) -> usize {
+                let b = self.to_le_bytes();
+                out.extend_from_slice(&b);
+                b.len()
+            }
+
+            fn as_inline_bytes(&self) -> Option<([u8; 16], usize)> {
+                let b = self.to_le_bytes();
+                let mut buf = [0u8; 16];
+                buf[..b.len()].copy_from_slice(&b);
+                Some((buf, b.len()))
+            }
+        }
+    )*};
+}
+
+impl_hashable_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, usize, isize);
+
+impl HashableItem for &str {
+    fn write_bytes(&self, out: &mut Vec<u8>) -> usize {
+        out.extend_from_slice(self.as_bytes());
+        self.len()
+    }
+}
+
+impl HashableItem for String {
+    fn write_bytes(&self, out: &mut Vec<u8>) -> usize {
+        out.extend_from_slice(self.as_bytes());
+        self.len()
+    }
+}
+
+impl HashableItem for &[u8] {
+    fn write_bytes(&self, out: &mut Vec<u8>) -> usize {
+        out.extend_from_slice(self);
+        self.len()
+    }
+}
+
+impl<const N: usize> HashableItem for [u8; N] {
+    fn write_bytes(&self, out: &mut Vec<u8>) -> usize {
+        out.extend_from_slice(self);
+        N
+    }
+
+    fn as_inline_bytes(&self) -> Option<([u8; 16], usize)> {
+        if N <= 16 {
+            let mut buf = [0u8; 16];
+            buf[..N].copy_from_slice(self);
+            Some((buf, N))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_encoding_is_little_endian() {
+        let mut out = Vec::new();
+        0x0102_0304u32.write_bytes(&mut out);
+        assert_eq!(out, vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn inline_bytes_match_write_bytes() {
+        let v = 0xdead_beef_cafe_f00du64;
+        let mut out = Vec::new();
+        let n = v.write_bytes(&mut out);
+        let (buf, len) = v.as_inline_bytes().unwrap();
+        assert_eq!(n, len);
+        assert_eq!(&buf[..len], &out[..]);
+    }
+
+    #[test]
+    fn str_and_string_agree() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        "hyperminhash".write_bytes(&mut a);
+        String::from("hyperminhash").write_bytes(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn u128_fits_inline() {
+        let v = u128::MAX;
+        let (buf, len) = v.as_inline_bytes().unwrap();
+        assert_eq!(len, 16);
+        assert_eq!(buf, [0xff; 16]);
+    }
+
+    #[test]
+    fn byte_array_inline_only_up_to_16() {
+        assert!([0u8; 16].as_inline_bytes().is_some());
+        assert!([0u8; 17].as_inline_bytes().is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! HyperLogLog: the count-distinct substrate of HyperMinHash.
+//!
+//! The paper uses HyperLogLog (Flajolet–Fusy–Gandouet–Meunier 2007) in two
+//! roles, both implemented here:
+//!
+//! 1. **Substrate** — the LogLog-counter half of every HyperMinHash bucket
+//!    *is* an HLL register, and Algorithm 3 estimates cardinality by
+//!    passing those counters "directly into a HyperLogLog estimator". The
+//!    estimator functions in [`estimators`] therefore operate on raw
+//!    register slices so `hmh-core` can reuse them.
+//! 2. **Baseline** — §1.3 compares HyperMinHash against estimating Jaccard
+//!    indices from HLL sketches alone, via inclusion–exclusion and via the
+//!    "newer cardinality estimation methods based on maximum-likelihood
+//!    estimation" (Ertl 2017). [`intersect`] implements both baselines,
+//!    including the joint-MLE intersection estimator.
+//!
+//! Register storage supports both dense `u8` and bit-packed layouts
+//! ([`registers::BitPacked`], also reused by `hmh-core` for its
+//! `(counter, mantissa)` words).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod estimators;
+pub mod intersect;
+pub mod registers;
+pub mod sketch;
+
+pub use intersect::{inclusion_exclusion, joint_mle, IntersectionEstimate};
+pub use sketch::{Estimator, HllError, HyperLogLog};

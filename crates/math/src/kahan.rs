@@ -1,0 +1,105 @@
+//! Compensated summation (Neumaier's variant of Kahan's algorithm).
+//!
+//! The collision formulas sum up to `2^q·2^r` terms spanning ~90 orders of
+//! magnitude; plain accumulation loses the small terms entirely. Neumaier
+//! summation keeps the error at one ulp of the true sum regardless of term
+//! ordering or magnitude spread.
+
+/// A running compensated sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Empty sum.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        // Neumaier: compensate whichever operand lost low-order bits.
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+/// Compensated sum of a slice.
+#[inline]
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_kahan_failure_case() {
+        // 1 + 1e100 + 1 - 1e100 = 2; naive f64 gives 0; Neumaier gives 2.
+        let mut s = KahanSum::new();
+        for v in [1.0, 1e100, 1.0, -1e100] {
+            s.add(v);
+        }
+        assert_eq!(s.total(), 2.0);
+    }
+
+    #[test]
+    fn many_small_terms() {
+        let mut s = KahanSum::new();
+        let n = 10_000_000;
+        for _ in 0..n {
+            s.add(0.1);
+        }
+        let err = (s.total() - n as f64 * 0.1).abs();
+        assert!(err < 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: KahanSum = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.total(), 6.0);
+        let mut s2 = s;
+        s2.extend([4.0]);
+        assert_eq!(s2.total(), 10.0);
+        assert_eq!(kahan_sum(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().total(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Numerics substrate for the HyperMinHash reproduction.
+//!
+//! The paper's exact expected-collision formula (Lemma 4 / Algorithm 5)
+//! "is slow and often results in floating point errors unless BigInts are
+//! used". This crate provides both remedies plus everything else the
+//! workspace needs:
+//!
+//! * [`logspace`] — cancellation-free kernels for `(1-b)^n` and differences
+//!   thereof, valid for `n` up to 10^19 and `b` down to 2^-120. These make
+//!   Algorithm 5 exact in plain `f64`.
+//! * [`bigint`] / [`bigfloat`] — arbitrary-precision integers and binary
+//!   floats, used to evaluate Algorithm 5 verbatim as the paper prescribes
+//!   and to cross-check the log-space kernels.
+//! * [`kahan`] — compensated (Neumaier) summation for the long alternating
+//!   sums in the collision formulas and estimators.
+//! * [`stats`] — streaming moments, quantiles and error summaries used by
+//!   the experiment harness.
+//! * [`dist`] — samplers (exponential, minima of `k` uniforms, binomial /
+//!   multinomial for `n` up to 10^19, Poisson, Zipf) that power the
+//!   order-statistics sketch simulator.
+//! * [`optimize`] — derivative-free 1-D Brent and N-D Nelder–Mead used by
+//!   the HLL maximum-likelihood estimators.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bigfloat;
+pub mod bigint;
+pub mod dist;
+pub mod kahan;
+pub mod logspace;
+pub mod optimize;
+pub mod stats;
+
+pub use bigfloat::BigFloat;
+pub use bigint::BigUint;
+pub use kahan::KahanSum;
+pub use stats::{ErrorSummary, Welford};

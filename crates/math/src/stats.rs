@@ -1,0 +1,236 @@
+//! Summary statistics for the experiment harness.
+//!
+//! Figure 6 plots *mean relative error* of Jaccard estimates over many
+//! trials; the collision experiments need running means/variances to check
+//! Theorems 1 and 2. Everything here is numerically careful (Welford
+//! update, compensated percentile input) but deliberately simple.
+
+/// Streaming mean/variance via Welford's algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge two accumulators (parallel Welford).
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        Self { n, mean, m2 }
+    }
+}
+
+/// Relative error `|est − truth| / truth`; infinite when truth is 0 and the
+/// estimate is not.
+#[inline]
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// Error summary over a batch of (estimate, truth) pairs: the quantities
+/// the paper's figure reports plus a few more.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorSummary {
+    samples: Vec<f64>,
+    signed: Welford,
+}
+
+impl ErrorSummary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one estimate against its ground truth.
+    pub fn add(&mut self, estimate: f64, truth: f64) {
+        self.samples.push(relative_error(estimate, truth));
+        if truth != 0.0 {
+            self.signed.add((estimate - truth) / truth);
+        }
+    }
+
+    /// Number of recorded pairs.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean relative error — the y-axis of Figure 6.
+    pub fn mean_relative_error(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let s: crate::KahanSum = self.samples.iter().copied().collect();
+        s.total() / self.samples.len() as f64
+    }
+
+    /// Root-mean-square relative error.
+    pub fn rmse(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let s: crate::KahanSum = self.samples.iter().map(|e| e * e).collect();
+        (s.total() / self.samples.len() as f64).sqrt()
+    }
+
+    /// Mean signed relative error (bias).
+    pub fn bias(&self) -> f64 {
+        self.signed.mean()
+    }
+
+    /// The `q`-th quantile of relative error, `q ∈ [0, 1]`, by
+    /// nearest-rank on the sorted samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN errors"));
+        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        sorted[idx]
+    }
+
+    /// Maximum relative error.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for &x in &a_data {
+            a.add(x);
+            all.add(x);
+        }
+        for &x in &b_data {
+            b.add(x);
+            all.add(x);
+        }
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.variance() - all.variance()).abs() < 1e-12);
+        // Merging with empty is identity.
+        assert!((Welford::new().merge(&all).mean() - all.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(11.0, 10.0), 0.1);
+        assert_eq!(relative_error(9.0, 10.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert_eq!(relative_error(-5.0, -10.0), 0.5);
+    }
+
+    #[test]
+    fn error_summary() {
+        let mut s = ErrorSummary::new();
+        s.add(11.0, 10.0); // +10%
+        s.add(9.0, 10.0); // -10%
+        assert_eq!(s.count(), 2);
+        assert!((s.mean_relative_error() - 0.1).abs() < 1e-15);
+        assert!((s.rmse() - 0.1).abs() < 1e-15);
+        assert!(s.bias().abs() < 1e-15, "symmetric errors → no bias");
+        assert_eq!(s.max(), 0.1);
+        assert_eq!(s.quantile(0.0), 0.1);
+        assert_eq!(s.quantile(1.0), 0.1);
+    }
+
+    #[test]
+    fn quantiles_on_spread_data() {
+        let mut s = ErrorSummary::new();
+        for i in 1..=100 {
+            s.add(100.0 + i as f64, 100.0); // errors 0.01 .. 1.00
+        }
+        assert!((s.quantile(0.5) - 0.5).abs() < 0.02);
+        assert!((s.quantile(0.9) - 0.9).abs() < 0.02);
+        assert_eq!(s.max(), 1.0);
+    }
+}

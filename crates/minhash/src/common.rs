@@ -1,0 +1,64 @@
+//! Shared pieces of the MinHash variants.
+
+/// Errors from combining incompatible sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinHashError {
+    /// Different `k` / `p` / register-width parameters.
+    ParameterMismatch {
+        /// Human-readable description of the mismatching parameter.
+        what: &'static str,
+    },
+    /// Different random oracles (seed or algorithm).
+    OracleMismatch,
+}
+
+impl std::fmt::Display for MinHashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ParameterMismatch { what } => {
+                write!(f, "MinHash parameter mismatch: {what}")
+            }
+            Self::OracleMismatch => write!(f, "MinHash sketches use different random oracles"),
+        }
+    }
+}
+
+impl std::error::Error for MinHashError {}
+
+/// Standard error of a `k`-bucket MinHash Jaccard estimate at true index
+/// `t`: the matching indicator is Bernoulli(`t`) per bucket, so
+/// `σ = sqrt(t(1−t)/k)` — the `k/t`-order variance the paper attributes to
+/// "the original MinHash" (§5).
+pub fn jaccard_std_err(t: f64, k: usize) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&t));
+    (t * (1.0 - t) / k as f64).sqrt()
+}
+
+/// Jaccard estimate from matching/occupied bucket counts, Algorithm-4
+/// style without collision correction: `C / N`.
+pub fn jaccard_from_counts(matching: usize, occupied_union: usize) -> f64 {
+    if occupied_union == 0 {
+        0.0
+    } else {
+        matching as f64 / occupied_union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_err_shrinks_with_k() {
+        assert!(jaccard_std_err(0.5, 1024) < jaccard_std_err(0.5, 256));
+        assert_eq!(jaccard_std_err(0.0, 64), 0.0);
+        assert_eq!(jaccard_std_err(1.0, 64), 0.0);
+        assert!((jaccard_std_err(0.5, 100) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_ratio() {
+        assert_eq!(jaccard_from_counts(0, 0), 0.0);
+        assert_eq!(jaccard_from_counts(5, 10), 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Classic MinHash variants — the paper's baselines.
+//!
+//! §1.1 catalogs the three standard variants, all implemented here against
+//! the shared random-oracle substrate, plus the b-bit fingerprint of §1.3:
+//!
+//! * [`KHashMinHash`] — **k-hash-functions**: `k` independent (seed-derived)
+//!   hash functions, one minimum each; `Θ(nk)` sketch generation.
+//! * [`BottomK`] — **k-minimum-values** (KMV \[3\]): the `k` smallest values
+//!   under a single hash; `O(n log k)` generation, order-statistics
+//!   cardinality estimation.
+//! * [`KPartitionMinHash`] — **k-partition** (one-permutation \[17\]): hash
+//!   once, partition by the first `p` bits, keep the minimum per partition.
+//!   This is the scaffold HyperMinHash compresses, and the "MinHash" of
+//!   Figure 6 (fixed-width truncated registers).
+//! * [`BBitMinHash`] — **b-bit MinHash** (Li & König \[16\]): keeps only the
+//!   lowest `b` bits of each register after sketching. Smaller, but — the
+//!   point of §1.4 — it cannot be merged or streamed, so it exposes no
+//!   union operation.
+//!
+//! All mergeable variants support streaming inserts and lossless unions;
+//! sketches refuse to combine across mismatched parameters or oracles.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bbit;
+pub mod common;
+pub mod khash;
+pub mod kmv;
+pub mod kpartition;
+
+pub use bbit::BBitMinHash;
+pub use common::MinHashError;
+pub use khash::KHashMinHash;
+pub use kmv::BottomK;
+pub use kpartition::KPartitionMinHash;

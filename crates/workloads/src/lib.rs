@@ -1,0 +1,27 @@
+//! Workload generators and exact ground truth for the experiments.
+//!
+//! Every experiment in EXPERIMENTS.md draws its data from here:
+//!
+//! * [`exact`] — hash-set ground truth (exact Jaccard / union /
+//!   intersection) to score estimates against.
+//! * [`pairs`] — set pairs with exact target overlap/Jaccard (the Figure 6
+//!   protocol: identically sized sets with J = 1/3).
+//! * [`ipstream`] — the intro's DDoS scenario: two days of source-IP
+//!   traffic with heavy-hitter structure and controlled day-over-day
+//!   overlap.
+//! * [`survey`] — the intro's political-survey scenario: respondents with
+//!   categorical attributes, one set per attribute value, for CNF queries.
+//! * [`shingle`] — Broder's document-resemblance scenario: w-shingles of
+//!   text.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exact;
+pub mod ipstream;
+pub mod pairs;
+pub mod shingle;
+pub mod survey;
+
+pub use exact::ExactSet;
+pub use pairs::{pair_with_jaccard, pair_with_overlap, OverlapSpec};

@@ -1,0 +1,149 @@
+//! Set pairs with exact target overlap — the Figure 6 protocol.
+//!
+//! Figure 6 compares sketches on "identically sized sets with Jaccard
+//! index of 1/3 (i.e. 50% overlap)". [`pair_with_overlap`] constructs such
+//! pairs exactly; [`pair_with_jaccard`] solves for the shared count from a
+//! target Jaccard index.
+//!
+//! Elements are drawn disjointly from a seeded generator so truth values
+//! are exact by construction (shared elements appear in both sets, private
+//! elements in exactly one), with distinct elements guaranteed by an
+//! invertible-mixer labeling rather than rejection sampling.
+
+use hmh_hash::splitmix::mix64;
+
+/// Specification of an (|A|, |B|, |A∩B|) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapSpec {
+    /// `|A|`.
+    pub n_a: u64,
+    /// `|B|`.
+    pub n_b: u64,
+    /// `|A ∩ B|` (≤ min(n_a, n_b)).
+    pub shared: u64,
+}
+
+impl OverlapSpec {
+    /// Exact Jaccard index of the specification.
+    pub fn jaccard(self) -> f64 {
+        let u = self.n_a + self.n_b - self.shared;
+        if u == 0 {
+            0.0
+        } else {
+            self.shared as f64 / u as f64
+        }
+    }
+
+    /// Exact union size.
+    pub fn union_size(self) -> u64 {
+        self.n_a + self.n_b - self.shared
+    }
+
+    /// For equal sizes `n` and target Jaccard `t`: `shared = 2nt/(1+t)`
+    /// (rounded). `t = 1/3` gives `shared = n/2` — Figure 6's "50%
+    /// overlap".
+    pub fn equal_sized_with_jaccard(n: u64, t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "t out of [0,1]");
+        let shared = (2.0 * n as f64 * t / (1.0 + t)).round() as u64;
+        Self { n_a: n, n_b: n, shared: shared.min(n) }
+    }
+}
+
+/// Deterministic distinct element labels: `mix64` is a bijection on `u64`,
+/// so streaming `mix64(tag ⊕ counter)` over distinct counters never
+/// repeats within a pair.
+fn label(seed: u64, index: u64) -> u64 {
+    mix64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(index))
+}
+
+/// Generate `(A, B)` element vectors realizing `spec` exactly.
+///
+/// Elements are unique within and across the two sets' private regions;
+/// shared elements appear in both. The same `seed` reproduces the same
+/// pair.
+pub fn pair_with_overlap(spec: OverlapSpec, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    assert!(spec.shared <= spec.n_a.min(spec.n_b), "overlap exceeds set size");
+    let mut a = Vec::with_capacity(spec.n_a as usize);
+    let mut b = Vec::with_capacity(spec.n_b as usize);
+    // Index space partition: [0, shared) shared, then private runs. The
+    // labeling is injective in the index, so regions never collide.
+    for i in 0..spec.shared {
+        let e = label(seed, i);
+        a.push(e);
+        b.push(e);
+    }
+    let mut next = spec.shared;
+    for _ in 0..(spec.n_a - spec.shared) {
+        a.push(label(seed, next));
+        next += 1;
+    }
+    for _ in 0..(spec.n_b - spec.shared) {
+        b.push(label(seed, next));
+        next += 1;
+    }
+    (a, b)
+}
+
+/// Generate an equal-sized pair with exact target Jaccard `t` (up to the
+/// one-element rounding of the shared count).
+pub fn pair_with_jaccard(n: u64, t: f64, seed: u64) -> (Vec<u64>, Vec<u64>, OverlapSpec) {
+    let spec = OverlapSpec::equal_sized_with_jaccard(n, t);
+    let (a, b) = pair_with_overlap(spec, seed);
+    (a, b, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSet;
+
+    #[test]
+    fn spec_math() {
+        let spec = OverlapSpec::equal_sized_with_jaccard(30_000, 1.0 / 3.0);
+        assert_eq!(spec.shared, 15_000, "J = 1/3 ⇔ 50% overlap");
+        assert!((spec.jaccard() - 1.0 / 3.0).abs() < 1e-4);
+        assert_eq!(spec.union_size(), 45_000);
+    }
+
+    #[test]
+    fn jaccard_extremes() {
+        let disjoint = OverlapSpec::equal_sized_with_jaccard(100, 0.0);
+        assert_eq!(disjoint.shared, 0);
+        let identical = OverlapSpec::equal_sized_with_jaccard(100, 1.0);
+        assert_eq!(identical.shared, 100);
+        assert_eq!(identical.jaccard(), 1.0);
+        assert_eq!(OverlapSpec { n_a: 0, n_b: 0, shared: 0 }.jaccard(), 0.0);
+    }
+
+    #[test]
+    fn generated_pairs_realize_the_spec_exactly() {
+        let spec = OverlapSpec { n_a: 5_000, n_b: 3_000, shared: 1_000 };
+        let (a, b) = pair_with_overlap(spec, 42);
+        let sa: ExactSet = a.iter().copied().collect();
+        let sb: ExactSet = b.iter().copied().collect();
+        assert_eq!(sa.len() as u64, spec.n_a, "labels must be distinct");
+        assert_eq!(sb.len() as u64, spec.n_b);
+        assert_eq!(sa.intersection_size(&sb) as u64, spec.shared);
+        assert_eq!(sa.union_size(&sb) as u64, spec.union_size());
+    }
+
+    #[test]
+    fn seeds_give_distinct_but_reproducible_pairs() {
+        let spec = OverlapSpec { n_a: 100, n_b: 100, shared: 50 };
+        let (a1, _) = pair_with_overlap(spec, 1);
+        let (a1_again, _) = pair_with_overlap(spec, 1);
+        let (a2, _) = pair_with_overlap(spec, 2);
+        assert_eq!(a1, a1_again);
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn pair_with_jaccard_end_to_end() {
+        let (a, b, spec) = pair_with_jaccard(10_000, 0.1, 7);
+        let sa: ExactSet = a.into_iter().collect();
+        let sb: ExactSet = b.into_iter().collect();
+        let truth = sa.jaccard(&sb);
+        assert!((truth - 0.1).abs() < 1e-3, "truth {truth}");
+        assert!((spec.jaccard() - truth).abs() < 1e-12);
+    }
+}

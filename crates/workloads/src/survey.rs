@@ -1,0 +1,143 @@
+//! The intro's survey scenario: "how many participants in a political
+//! survey are independent and have a favorable view of the federal
+//! government?"
+//!
+//! Generates a synthetic respondent population with categorical attributes
+//! and materializes one element-set per attribute value — the natural
+//! input shape for CNF queries over sketches (`hmh-cnf`): each clause ORs
+//! attribute-value sets, the query ANDs clauses.
+
+use hmh_hash::splitmix::mix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Political affiliation.
+pub const PARTIES: [&str; 3] = ["democrat", "republican", "independent"];
+/// View of the federal government.
+pub const VIEWS: [&str; 3] = ["favorable", "neutral", "unfavorable"];
+/// Age bracket.
+pub const AGES: [&str; 4] = ["18-29", "30-44", "45-64", "65+"];
+
+/// A generated survey population.
+#[derive(Debug, Clone)]
+pub struct Survey {
+    /// Respondent IDs per attribute value, keyed `"{attribute}:{value}"`
+    /// (e.g. `"party:independent"`).
+    pub groups: BTreeMap<String, Vec<u64>>,
+    /// Total number of respondents.
+    pub population: usize,
+}
+
+impl Survey {
+    /// Generate a population of `n` respondents with independently drawn
+    /// attributes (non-uniform marginals, deterministic per seed).
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut groups: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let weights_party = [0.42, 0.38, 0.20];
+        let weights_view = [0.30, 0.25, 0.45];
+        let weights_age = [0.22, 0.26, 0.33, 0.19];
+        for i in 0..n as u64 {
+            let id = mix64(seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+                .wrapping_add(mix64(i));
+            let party = PARTIES[pick(&mut rng, &weights_party)];
+            let view = VIEWS[pick(&mut rng, &weights_view)];
+            let age = AGES[pick(&mut rng, &weights_age)];
+            groups.entry(format!("party:{party}")).or_default().push(id);
+            groups.entry(format!("view:{view}")).or_default().push(id);
+            groups.entry(format!("age:{age}")).or_default().push(id);
+        }
+        Self { groups, population: n }
+    }
+
+    /// The respondent IDs of one attribute value (empty slice if absent).
+    pub fn group(&self, key: &str) -> &[u64] {
+        self.groups.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Exact count of respondents in *all* of the given groups
+    /// (conjunction over attribute-value sets).
+    pub fn exact_and(&self, keys: &[&str]) -> usize {
+        let Some((first, rest)) = keys.split_first() else {
+            return 0;
+        };
+        let mut acc: std::collections::HashSet<u64> = self.group(first).iter().copied().collect();
+        for key in rest {
+            let next: std::collections::HashSet<u64> = self.group(key).iter().copied().collect();
+            acc.retain(|id| next.contains(id));
+        }
+        acc.len()
+    }
+
+    /// Exact count of respondents in *any* of the given groups.
+    pub fn exact_or(&self, keys: &[&str]) -> usize {
+        let mut acc: std::collections::HashSet<u64> = Default::default();
+        for key in keys {
+            acc.extend(self.group(key).iter().copied());
+        }
+        acc.len()
+    }
+}
+
+fn pick<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_respondent_lands_in_three_groups() {
+        let s = Survey::generate(10_000, 1);
+        let party_total: usize = PARTIES.iter().map(|p| s.group(&format!("party:{p}")).len()).sum();
+        let view_total: usize = VIEWS.iter().map(|v| s.group(&format!("view:{v}")).len()).sum();
+        let age_total: usize = AGES.iter().map(|a| s.group(&format!("age:{a}")).len()).sum();
+        assert_eq!(party_total, 10_000);
+        assert_eq!(view_total, 10_000);
+        assert_eq!(age_total, 10_000);
+    }
+
+    #[test]
+    fn marginals_match_weights() {
+        let s = Survey::generate(50_000, 2);
+        let dem = s.group("party:democrat").len() as f64 / 50_000.0;
+        assert!((dem - 0.42).abs() < 0.02, "democrat share {dem}");
+        let unf = s.group("view:unfavorable").len() as f64 / 50_000.0;
+        assert!((unf - 0.45).abs() < 0.02, "unfavorable share {unf}");
+    }
+
+    #[test]
+    fn independence_of_attributes() {
+        // P(independent ∧ favorable) ≈ 0.20 · 0.30.
+        let s = Survey::generate(100_000, 3);
+        let both = s.exact_and(&["party:independent", "view:favorable"]) as f64 / 100_000.0;
+        assert!((both - 0.06).abs() < 0.01, "joint share {both}");
+    }
+
+    #[test]
+    fn or_and_edge_cases() {
+        let s = Survey::generate(1000, 4);
+        assert_eq!(s.exact_and(&[]), 0);
+        assert_eq!(s.exact_or(&[]), 0);
+        assert_eq!(s.exact_or(&["party:democrat", "party:republican", "party:independent"]), 1000);
+        assert_eq!(s.group("party:whig").len(), 0);
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let s = Survey::generate(20_000, 5);
+        let all: std::collections::HashSet<u64> =
+            PARTIES.iter().flat_map(|p| s.group(&format!("party:{p}")).iter().copied()).collect();
+        assert_eq!(all.len(), 20_000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Broder's original use case: document resemblance via the Jaccard index
+//! of word shingles — HyperMinHash vs b-bit MinHash fingerprints vs exact.
+//!
+//! Also shows what the fingerprint *cannot* do: cluster-level corpus
+//! queries need sketch unions, which only HyperMinHash supports.
+//!
+//! ```sh
+//! cargo run --release --example document_similarity
+//! ```
+
+use hyperminhash::minhash::{BBitMinHash, KHashMinHash};
+use hyperminhash::prelude::*;
+use hyperminhash::workloads::shingle::{shingles, synthetic_document};
+
+fn main() {
+    let params = HmhParams::new(10, 6, 10).expect("valid parameters");
+    let oracle = RandomOracle::with_seed(1);
+
+    // A base document plus increasingly mutated variants.
+    let base = synthetic_document(20_000, 100, 0.0);
+    let variants: Vec<(String, f64)> = [0.02, 0.1, 0.3, 0.7]
+        .iter()
+        .map(|&rate| (synthetic_document(20_000, 101, rate), rate))
+        .collect();
+
+    let sketch_of = |text: &str| -> (HyperMinHash, KHashMinHash, Vec<u64>) {
+        let grams = shingles(text, 3);
+        let mut hmh = HyperMinHash::with_oracle(params, oracle);
+        let mut mh = KHashMinHash::new(512, oracle);
+        for &g in &grams {
+            hmh.insert(&g);
+            mh.insert(&g);
+        }
+        (hmh, mh, grams)
+    };
+
+    let (base_hmh, base_mh, base_grams) = sketch_of(&base);
+    let base_fp = BBitMinHash::from_minhash(&base_mh, 2);
+    let base_set: std::collections::HashSet<u64> = base_grams.iter().copied().collect();
+
+    println!("document resemblance (3-shingles), base = 20k words:\n");
+    println!("{:>10} {:>10} {:>12} {:>12}", "mutation", "exact J", "hmh J", "bbit J");
+    for (text, rate) in &variants {
+        let (hmh, mh, grams) = sketch_of(text);
+        let set: std::collections::HashSet<u64> = grams.iter().copied().collect();
+        let inter = base_set.intersection(&set).count() as f64;
+        let exact = inter / (base_set.len() + set.len() - inter as usize) as f64;
+        let hmh_j = base_hmh.jaccard(&hmh).expect("same parameters").estimate;
+        let fp = BBitMinHash::from_minhash(&mh, 2);
+        let bb_j = base_fp.jaccard(&fp).expect("same build");
+        println!("{rate:>10.2} {exact:>10.4} {hmh_j:>12.4} {bb_j:>12.4}");
+    }
+
+    // Corpus-level query the fingerprint cannot express: "how similar is
+    // this new document to the *union* of the existing cluster?"
+    let mut cluster = base_hmh.clone();
+    for (text, _) in &variants[..2] {
+        let (hmh, _, _) = sketch_of(text);
+        cluster.merge(&hmh).expect("same parameters");
+    }
+    let (probe, _, _) = sketch_of(&variants[3].0);
+    let j = cluster.jaccard(&probe).expect("same parameters");
+    println!(
+        "\ncluster query J(probe, doc0 ∪ doc1 ∪ doc2) = {:.4}  \
+         (b-bit fingerprints cannot form the union sketch)",
+        j.estimate
+    );
+}

@@ -1,0 +1,63 @@
+//! The paper's survey motivation: "how many participants in a political
+//! survey are independent and have a favorable view of the federal
+//! government?" — answered as CNF queries over a sketch catalog.
+//!
+//! ```sh
+//! cargo run --release --example survey_cnf
+//! ```
+
+use hyperminhash::cnf::{eval, SketchCatalog};
+use hyperminhash::prelude::*;
+use hyperminhash::workloads::survey::Survey;
+
+fn main() {
+    let population = 500_000;
+    let survey = Survey::generate(population, 7);
+    let params = HmhParams::new(13, 6, 10).expect("valid parameters");
+
+    // One sketch per attribute value — 10 sketches × 16 KiB.
+    let mut catalog = SketchCatalog::new(params);
+    for (key, ids) in &survey.groups {
+        catalog.insert_all(key, ids.iter().copied());
+    }
+    println!(
+        "catalog: {} sketches, {} KiB total, population {population}\n",
+        catalog.len(),
+        catalog.byte_size() / 1024
+    );
+
+    let queries = [
+        "party:independent & view:favorable",
+        "(party:independent | party:republican) & view:unfavorable",
+        "(view:favorable | view:neutral) & age:18-29 & party:democrat",
+        "(age:45-64 | age:65+) & (party:democrat | party:independent)",
+    ];
+    for text in queries {
+        let answer = eval::query(&catalog, text).expect("query evaluates");
+        let truth = exact_answer(&survey, text);
+        let err = if truth > 0 {
+            format!("{:+.1}%", (answer.count / truth as f64 - 1.0) * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        println!("{text}");
+        println!("  estimate {:>9.0}   exact {truth:>9}   error {err}\n", answer.count);
+    }
+}
+
+/// Exact evaluation of the same CNF query against the raw survey data.
+fn exact_answer(survey: &Survey, text: &str) -> usize {
+    let query = hyperminhash::cnf::parse(text).expect("parses");
+    let mut result: Option<std::collections::HashSet<u64>> = None;
+    for clause in query.clauses() {
+        let mut clause_set = std::collections::HashSet::new();
+        for var in clause {
+            clause_set.extend(survey.group(var).iter().copied());
+        }
+        result = Some(match result {
+            None => clause_set,
+            Some(acc) => acc.intersection(&clause_set).copied().collect(),
+        });
+    }
+    result.map(|s| s.len()).unwrap_or(0)
+}
