@@ -85,13 +85,21 @@ mod tests {
         };
         // At r = 10, quadrupling the budget must reduce error.
         assert!(lookup("16384", "10") < lookup("1024", "10"));
-        // At a fixed 1 KiB budget, r = 2 has a collision floor far above
-        // r = 10's sampling noise.
-        assert!(
-            lookup("1024", "2") > lookup("1024", "10"),
-            "r=2: {}, r=10: {}",
-            lookup("1024", "2"),
-            lookup("1024", "10")
-        );
+        // At a fixed byte budget, extreme r wastes the budget: r = 12/16
+        // widen the register word (q+r = 18/22 bits) and halve the bucket
+        // count, while the extra mantissa bits buy nothing once the
+        // collision floor sits below sampling noise — so their error must
+        // exceed the mid-range r band. (Comparing r = 2 against r = 10
+        // head-to-head is NOT a valid assertion here: with the Approx
+        // collision correction the small-r floor is mostly subtracted
+        // out, and at byte parity r = 2 buys 2× the buckets, so it wins;
+        // band averages keep the check statistically robust at 25
+        // trials.)
+        let band = |rs: &[&str]| -> f64 {
+            rs.iter().map(|r| lookup("16384", r)).sum::<f64>() / rs.len() as f64
+        };
+        let wide = band(&["12", "16"]);
+        let mid = band(&["4", "6", "8", "10"]);
+        assert!(wide > mid, "wide-r band {wide} should exceed mid-r band {mid}");
     }
 }

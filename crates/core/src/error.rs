@@ -45,7 +45,14 @@ impl std::fmt::Display for HmhError {
     }
 }
 
-impl std::error::Error for HmhError {}
+impl std::error::Error for HmhError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // All variants are leaves today; the explicit impl keeps the
+        // chain contract visible (and `FormatError`/`StoreError` above
+        // this layer report `HmhError` itself as their source).
+        None
+    }
+}
 
 #[cfg(test)]
 mod tests {

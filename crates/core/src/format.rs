@@ -72,7 +72,14 @@ impl std::fmt::Display for FormatError {
     }
 }
 
-impl std::error::Error for FormatError {}
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidParams(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 fn algorithm_to_byte(alg: HashAlgorithm) -> u8 {
     match alg {
@@ -227,6 +234,58 @@ mod tests {
         let mut bad = bytes;
         bad[8] = 200;
         assert!(matches!(decode(&bad), Err(FormatError::UnknownAlgorithm(200))));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        // Small parameters keep the exhaustive sweep cheap: every bit of
+        // header, payload and digest is flipped in turn, and the decoder
+        // must reject every one of them (the digest covers the whole
+        // body, and a digest flip breaks the digest itself).
+        let params = HmhParams::new(2, 6, 4).unwrap();
+        let s = HyperMinHash::from_items(params, 0..200u64);
+        let bytes = encode(&s);
+        for bit in 0..bytes.len() * 8 {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(decode(&bad).is_err(), "flipped bit {bit} was accepted");
+        }
+        assert_eq!(decode(&bytes).unwrap(), s, "pristine bytes still decode");
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected() {
+        let params = HmhParams::new(2, 6, 4).unwrap();
+        let s = HyperMinHash::from_items(params, 0..200u64);
+        let bytes = encode(&s);
+        for len in 0..bytes.len() {
+            let err = decode(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, FormatError::Truncated { .. } | FormatError::BadMagic),
+                "cut at {len}: unexpected {err:?}"
+            );
+        }
+        // Trailing junk is rejected too — the length check is exact.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(decode(&extended), Err(FormatError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_params_error_chains_to_cause() {
+        use std::error::Error;
+        let mut bad = encode(&sketch());
+        bad[6] = 99; // q far outside the valid range
+        let err = decode(&bad).unwrap_err();
+        let FormatError::InvalidParams(_) = &err else {
+            panic!("expected InvalidParams, got {err:?}");
+        };
+        let source = err.source().expect("InvalidParams carries its cause");
+        assert!(source.to_string().contains('q'), "{source}");
+        assert!(source.downcast_ref::<HmhError>().is_some());
+        // Leaf errors terminate the chain.
+        assert!(source.source().is_none());
+        assert!(FormatError::BadMagic.source().is_none());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Bounded retry with exponential backoff and jitter.
+//!
+//! The store treats `Interrupted` / `WouldBlock` / `TimedOut` I/O errors
+//! as transient and retries them a bounded number of times; everything
+//! else surfaces immediately. Backoff doubles per attempt up to a cap,
+//! with deterministic SplitMix64 jitter so concurrent writers do not
+//! thundering-herd on the same schedule. The sleeper is injectable so
+//! fault-injection tests run at full speed.
+
+use std::io;
+use std::time::Duration;
+
+use hmh_hash::splitmix::SplitMix64;
+
+/// Retry schedule for transient I/O errors.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling any single delay is clamped to.
+    pub max_delay: Duration,
+    /// Jitter source; seeded deterministically by default.
+    jitter: SplitMix64,
+    /// Sleeper — `thread::sleep` in production, a no-op in tests.
+    sleep: fn(Duration),
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+            jitter: SplitMix64::new(0x5265_7472_794a_6974), // "RetryJit"
+            sleep: std::thread::sleep,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never sleeps (for tests and fault-injection runs).
+    pub fn no_sleep() -> Self {
+        Self { sleep: |_| {}, ..Self::default() }
+    }
+
+    /// Policy that fails on the first error (no retries at all).
+    pub fn none() -> Self {
+        Self { max_attempts: 1, sleep: |_| {}, ..Self::default() }
+    }
+
+    /// Delay before retry number `attempt` (1-based): exponential base
+    /// doubling, clamped to `max_delay`, with up to +50% jitter.
+    fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+        let capped = exp.min(self.max_delay);
+        let jitter_num = self.jitter.next_u64() % 512; // 0..512 of 1024 ⇒ up to +50%
+        capped + capped.mul_f64(jitter_num as f64 / 1024.0)
+    }
+
+    /// Run `op`, retrying transient errors per this policy. Returns the
+    /// first success, the first permanent error, or the last transient
+    /// error once attempts are exhausted.
+    pub fn run<T>(&mut self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && attempt < self.max_attempts => {
+                    let d = self.delay(attempt);
+                    (self.sleep)(d);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Errors worth retrying: the kernel or a lower layer said "try again",
+/// not "this cannot work".
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try() {
+        let mut p = RetryPolicy::no_sleep();
+        let mut calls = 0;
+        let r: io::Result<u32> = p.run(|| {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn transient_errors_absorbed_within_budget() {
+        let mut p = RetryPolicy::no_sleep();
+        let mut calls = 0;
+        let r: io::Result<&str> = p.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(r.unwrap(), "done");
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_last_transient_error() {
+        let mut p = RetryPolicy::no_sleep();
+        let mut calls = 0;
+        let r: io::Result<()> = p.run(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::TimedOut, "always"))
+        });
+        assert_eq!(r.unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(calls, 4, "default max_attempts");
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let mut p = RetryPolicy::no_sleep();
+        let mut calls = 0;
+        let r: io::Result<()> = p.run(|| {
+            calls += 1;
+            Err(io::Error::other("broken"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn delays_grow_and_stay_capped() {
+        let mut p = RetryPolicy::default();
+        let d1 = p.delay(1);
+        let d2 = p.delay(2);
+        let d3 = p.delay(3);
+        assert!(d1 >= p.base_delay);
+        assert!(d2 >= p.base_delay * 2);
+        assert!(d3 >= p.base_delay * 4);
+        // Even at a huge attempt number, jittered delay stays ≤ 1.5×cap.
+        let big = p.delay(60);
+        assert!(big <= p.max_delay + p.max_delay / 2);
+    }
+}

@@ -1,0 +1,473 @@
+//! The crash-safe sketch store.
+//!
+//! On disk a store is a directory with three files:
+//!
+//! * `snapshot.hmr` — compacted state, replaced only by atomic
+//!   write-temp + fsync + rename;
+//! * `wal.hmr` — append-only log of puts/tombstones since the snapshot;
+//! * `quarantine.bin` — bytes salvage could not parse, kept for forensics.
+//!
+//! Every open runs the salvage scan ([`crate::log::salvage_scan`]) over
+//! snapshot then WAL, replays intact records last-wins, and reports what
+//! it found. With [`StoreOptions::auto_heal`] (the default) a dirty open
+//! immediately compacts, so corruption never survives a reopen.
+//!
+//! Durability discipline for `put`/`remove`: truncate the WAL back to
+//! the last known-good length (cutting any torn bytes from a previously
+//! failed append), append the record, fsync — all under bounded retry
+//! for transient errors. A record is acknowledged only after its fsync
+//! succeeds, so an acknowledged record survives any later crash.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use hmh_core::format::{self, FormatError};
+use hmh_core::HyperMinHash;
+
+use crate::backend::{atomic_write, Backend, FileBackend};
+use crate::log::{encode_record, salvage_scan, Record, RecordKind, RecoveryReport, MAX_NAME_LEN};
+use crate::retry::RetryPolicy;
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.hmr";
+/// Write-ahead log file name.
+pub const WAL_FILE: &str = "wal.hmr";
+/// Quarantine dump file name.
+pub const QUARANTINE_FILE: &str = "quarantine.bin";
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Retry schedule for transient I/O errors.
+    pub retry: RetryPolicy,
+    /// Compact immediately when an open finds corruption (default true).
+    pub auto_heal: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self { retry: RetryPolicy::default(), auto_heal: true }
+    }
+}
+
+impl StoreOptions {
+    /// Options suitable for tests: no retry sleeps.
+    pub fn no_sleep() -> Self {
+        Self { retry: RetryPolicy::no_sleep(), auto_heal: true }
+    }
+}
+
+/// Store failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed after exhausting retries.
+    Io(io::Error),
+    /// A payload was not a valid `HMH1` sketch.
+    Format(FormatError),
+    /// A sketch name was empty or too long.
+    InvalidName(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Format(e) => write!(f, "invalid sketch payload: {e}"),
+            StoreError::InvalidName(name) => {
+                write!(f, "invalid sketch name {name:?}: must be 1..={MAX_NAME_LEN} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Format(e) => Some(e),
+            StoreError::InvalidName(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<FormatError> for StoreError {
+    fn from(e: FormatError) -> Self {
+        StoreError::Format(e)
+    }
+}
+
+/// A crash-safe, named collection of HyperMinHash sketches.
+#[derive(Debug)]
+pub struct SketchStore<B: Backend> {
+    backend: B,
+    dir: PathBuf,
+    entries: BTreeMap<String, Vec<u8>>,
+    /// Known-good WAL length: bytes up to and including the last record
+    /// this process successfully fsynced (or salvaged at open).
+    wal_len: u64,
+    report: RecoveryReport,
+    options: StoreOptions,
+}
+
+impl SketchStore<FileBackend> {
+    /// Open (creating if absent) a store directory on the real
+    /// filesystem with default options.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with(FileBackend, dir, StoreOptions::default())
+    }
+}
+
+impl<B: Backend> SketchStore<B> {
+    /// Open a store over an arbitrary backend.
+    ///
+    /// Never fails on *corrupt* data — salvage recovers what it can and
+    /// the [`recovery_report`](Self::recovery_report) says what happened.
+    /// Only real I/O failures (after retries) surface as errors.
+    pub fn open_with(
+        mut backend: B,
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        backend.ensure_dir(&dir)?;
+
+        let mut entries = BTreeMap::new();
+        let mut report = RecoveryReport::default();
+        let mut quarantined_bytes: Vec<u8> = Vec::new();
+
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+
+        let mut wal_len = 0u64;
+        for (path, is_wal) in [(&snapshot_path, false), (&wal_path, true)] {
+            let bytes = backend.read(path)?.unwrap_or_default();
+            let salvage = salvage_scan(&bytes);
+            for record in salvage.records {
+                apply(&mut entries, record);
+            }
+            for &(start, end) in &salvage.quarantined_ranges {
+                quarantined_bytes.extend_from_slice(&bytes[start..end]);
+            }
+            report.absorb(&salvage.report);
+            if is_wal {
+                wal_len = bytes.len() as u64;
+            }
+        }
+
+        let mut store =
+            Self { backend, dir, entries, wal_len, report: report.clone(), options };
+
+        if !report.is_clean() {
+            // Keep the unparseable bytes for forensics (best effort —
+            // the quarantine file is not load-bearing).
+            if !quarantined_bytes.is_empty() {
+                let qpath = store.dir.join(QUARANTINE_FILE);
+                let _ = store.backend.append(&qpath, &quarantined_bytes);
+            }
+            if store.options.auto_heal {
+                // Rewrite clean state now so the corruption cannot
+                // resurface. Best effort: if the heal itself fails, the
+                // in-memory state is still correct and a later compact
+                // can finish the job.
+                let _ = store.compact();
+            }
+        }
+        Ok(store)
+    }
+
+    /// What the salvage scan found when this store was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The storage backend (the fault harness reads its counters).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Store an encoded `HMH1` payload under `name`, durably.
+    ///
+    /// The payload is validated before anything touches disk, so the
+    /// store never persists bytes it could not decode back.
+    pub fn put_encoded(&mut self, name: &str, payload: &[u8]) -> Result<(), StoreError> {
+        format::decode(payload)?;
+        self.append_record(name, RecordKind::Put, payload)?;
+        self.entries.insert(name.to_string(), payload.to_vec());
+        Ok(())
+    }
+
+    /// Store a sketch under `name`, durably.
+    pub fn put(&mut self, name: &str, sketch: &HyperMinHash) -> Result<(), StoreError> {
+        let payload = format::encode(sketch);
+        self.append_record(name, RecordKind::Put, &payload)?;
+        self.entries.insert(name.to_string(), payload);
+        Ok(())
+    }
+
+    /// Encoded payload stored under `name`, if any.
+    pub fn get_encoded(&self, name: &str) -> Option<&[u8]> {
+        self.entries.get(name).map(Vec::as_slice)
+    }
+
+    /// Decoded sketch stored under `name`, if any.
+    pub fn get(&self, name: &str) -> Result<Option<HyperMinHash>, StoreError> {
+        match self.entries.get(name) {
+            Some(payload) => Ok(Some(format::decode(payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Remove `name`, durably (a tombstone record). `Ok(false)` when the
+    /// name was not present (no record written).
+    pub fn remove(&mut self, name: &str) -> Result<bool, StoreError> {
+        if !self.entries.contains_key(name) {
+            return Ok(false);
+        }
+        self.append_record(name, RecordKind::Tombstone, &[])?;
+        self.entries.remove(name);
+        Ok(true)
+    }
+
+    /// All stored names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of stored sketches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no sketches are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rewrite the snapshot from current state (atomic replace), then
+    /// reset the WAL. Shrinks the store to one record per live name and
+    /// drops any corrupt bytes still sitting in the old files.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let mut snapshot = Vec::new();
+        for (name, payload) in &self.entries {
+            snapshot.extend(encode_record(name, RecordKind::Put, payload));
+        }
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        let wal_path = self.dir.join(WAL_FILE);
+
+        let mut retry = self.options.retry.clone();
+        let backend = &mut self.backend;
+        retry.run(|| atomic_write(backend, &snapshot_path, &snapshot))?;
+
+        // The snapshot now holds everything; the WAL can go. A crash
+        // between rename and truncate only leaves duplicate records,
+        // which last-wins replay makes harmless.
+        let mut retry = self.options.retry.clone();
+        let backend = &mut self.backend;
+        retry.run(|| {
+            backend.truncate(&wal_path, 0)?;
+            backend.fsync(&wal_path)
+        })?;
+        // Note: `self.report` deliberately keeps what the *open* found —
+        // healing the files does not rewrite history; `fsck` reports
+        // current on-disk health.
+        self.wal_len = 0;
+        Ok(())
+    }
+
+    /// Re-scan both files from disk and report their current health
+    /// without modifying anything.
+    pub fn fsck(&mut self) -> Result<RecoveryReport, StoreError> {
+        let mut report = RecoveryReport::default();
+        for file in [SNAPSHOT_FILE, WAL_FILE] {
+            let bytes = self.backend.read(&self.dir.join(file))?.unwrap_or_default();
+            report.absorb(&salvage_scan(&bytes).report);
+        }
+        Ok(report)
+    }
+
+    /// Append one record to the WAL with full durability discipline.
+    fn append_record(
+        &mut self,
+        name: &str,
+        kind: RecordKind,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        if name.is_empty() || name.len() > MAX_NAME_LEN {
+            return Err(StoreError::InvalidName(name.to_string()));
+        }
+        let record = encode_record(name, kind, payload);
+        let wal_path = self.dir.join(WAL_FILE);
+        let wal_len = self.wal_len;
+        let mut retry = self.options.retry.clone();
+        let backend = &mut self.backend;
+        retry.run(|| {
+            // Cut torn bytes a previously failed append may have left,
+            // so the new record lands at a known-good offset.
+            backend.truncate(&wal_path, wal_len)?;
+            backend.append(&wal_path, &record)?;
+            backend.fsync(&wal_path)
+        })?;
+        self.wal_len += record.len() as u64;
+        Ok(())
+    }
+}
+
+fn apply(entries: &mut BTreeMap<String, Vec<u8>>, record: Record) {
+    match record.kind {
+        RecordKind::Put => {
+            entries.insert(record.name, record.payload);
+        }
+        RecordKind::Tombstone => {
+            entries.remove(&record.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::MemBackend;
+    use hmh_core::{HmhParams, HyperMinHash};
+    use std::path::Path;
+
+    fn sketch(items: std::ops::Range<u64>) -> HyperMinHash {
+        let params = HmhParams::new(4, 6, 4).unwrap();
+        HyperMinHash::from_items(params, items)
+    }
+
+    fn mem_store(mem: &MemBackend) -> SketchStore<MemBackend> {
+        SketchStore::open_with(mem.clone(), "/store", StoreOptions::no_sleep()).unwrap()
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mem = MemBackend::new();
+        let mut s = mem_store(&mem);
+        let a = sketch(0..100);
+        s.put("a", &a).unwrap();
+        assert_eq!(s.get("a").unwrap().unwrap(), a);
+        assert_eq!(s.len(), 1);
+        assert!(s.remove("a").unwrap());
+        assert!(!s.remove("a").unwrap());
+        assert!(s.get("a").unwrap().is_none());
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let mem = MemBackend::new();
+        let (a, b) = (sketch(0..50), sketch(25..75));
+        {
+            let mut s = mem_store(&mem);
+            s.put("a", &a).unwrap();
+            s.put("b", &b).unwrap();
+            s.put("a", &b).unwrap(); // overwrite: last wins
+            s.remove("b").unwrap();
+        }
+        let s = mem_store(&mem);
+        assert!(s.recovery_report().is_clean());
+        assert_eq!(s.get("a").unwrap().unwrap(), b);
+        assert!(s.get("b").unwrap().is_none());
+        assert_eq!(s.names().collect::<Vec<_>>(), ["a"]);
+    }
+
+    #[test]
+    fn compact_shrinks_and_preserves() {
+        let mem = MemBackend::new();
+        let mut s = mem_store(&mem);
+        for i in 0..10u64 {
+            s.put("hot", &sketch(0..10 * (i + 1))).unwrap();
+        }
+        let wal = Path::new("/store").join(WAL_FILE);
+        let before = mem.len(&wal).unwrap();
+        s.compact().unwrap();
+        assert_eq!(mem.len(&wal), Some(0));
+        assert!(mem.len(&Path::new("/store").join(SNAPSHOT_FILE)).unwrap() < before);
+        let expect = sketch(0..100);
+        assert_eq!(s.get("hot").unwrap().unwrap(), expect);
+        let reopened = mem_store(&mem);
+        assert_eq!(reopened.get("hot").unwrap().unwrap(), expect);
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_only_the_torn_record() {
+        let mem = MemBackend::new();
+        let mut s = mem_store(&mem);
+        s.put("keep", &sketch(0..30)).unwrap();
+        s.put("casualty", &sketch(0..40)).unwrap();
+        // Crash mid-append of the second record: cut 3 bytes.
+        let wal = Path::new("/store").join(WAL_FILE);
+        let len = mem.len(&wal).unwrap();
+        assert!(mem.truncate_at(&wal, len - 3));
+        let s2 = mem_store(&mem);
+        assert!(s2.recovery_report().truncated_tail);
+        assert_eq!(s2.get("keep").unwrap().unwrap(), sketch(0..30));
+        assert!(s2.get("casualty").unwrap().is_none());
+        // Auto-heal compacted: a further reopen is clean.
+        let s3 = mem_store(&mem);
+        assert!(s3.recovery_report().is_clean());
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined_and_healed() {
+        let mem = MemBackend::new();
+        let mut s = mem_store(&mem);
+        s.put("a", &sketch(0..30)).unwrap();
+        s.put("b", &sketch(0..40)).unwrap();
+        s.put("c", &sketch(0..50)).unwrap();
+        s.compact().unwrap();
+        let snap = Path::new("/store").join(SNAPSHOT_FILE);
+        // Corrupt the middle record's payload area.
+        let len = mem.len(&snap).unwrap();
+        assert!(mem.flip_bit(&snap, len / 2, 3));
+        let s2 = mem_store(&mem);
+        assert_eq!(s2.recovery_report().quarantined, 1);
+        assert!(s2.len() < 3, "the hit record is gone, not silently wrong");
+        // Quarantined bytes were kept for forensics.
+        assert!(mem.len(&Path::new("/store").join(QUARANTINE_FILE)).unwrap_or(0) > 0);
+        // And the store healed itself.
+        let s3 = mem_store(&mem);
+        assert!(s3.recovery_report().is_clean());
+        assert_eq!(s3.len(), s2.len());
+    }
+
+    #[test]
+    fn invalid_names_and_payloads_rejected_before_disk() {
+        let mem = MemBackend::new();
+        let mut s = mem_store(&mem);
+        assert!(matches!(s.put("", &sketch(0..5)), Err(StoreError::InvalidName(_))));
+        assert!(matches!(s.put_encoded("x", b"not a sketch"), Err(StoreError::Format(_))));
+        assert_eq!(mem.len(&Path::new("/store").join(WAL_FILE)), None, "nothing written");
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let e = StoreError::Io(io::Error::other("disk on fire"));
+        assert!(e.source().is_some());
+        let e = StoreError::InvalidName(String::new());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn fsck_reports_without_modifying() {
+        let mem = MemBackend::new();
+        let mut s = mem_store(&mem);
+        s.put("a", &sketch(0..30)).unwrap();
+        assert!(s.fsck().unwrap().is_clean());
+        let wal = Path::new("/store").join(WAL_FILE);
+        let len = mem.len(&wal).unwrap();
+        let before = mem.raw(&wal).unwrap();
+        assert!(mem.truncate_at(&wal, len - 1));
+        let report = s.fsck().unwrap();
+        assert!(report.truncated_tail);
+        assert_eq!(mem.raw(&wal).unwrap(), before[..len - 1], "fsck is read-only");
+    }
+}

@@ -20,6 +20,8 @@
 //!   for cardinalities far beyond what can be inserted (the 10^19 claims).
 //! * [`cnf`] ([`hmh_cnf`]) — Boolean CNF queries over sketch catalogs.
 //! * [`workloads`] ([`hmh_workloads`]) — generators and exact ground truth.
+//! * [`store`] ([`hmh_store`]) — crash-safe sketch persistence with
+//!   salvage recovery and deterministic fault injection.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@ pub use hmh_hll as hll;
 pub use hmh_math as math;
 pub use hmh_minhash as minhash;
 pub use hmh_simulate as simulate;
+pub use hmh_store as store;
 pub use hmh_workloads as workloads;
 
 /// Convenience re-exports of the most common types.

@@ -1,162 +1,252 @@
-//! Property-based tests (proptest) on the core invariants the paper's
-//! algebra depends on.
+//! Property-based tests on the core invariants the paper's algebra
+//! depends on.
+//!
+//! Formerly driven by `proptest`; now a deterministic seeded harness (the
+//! build environment vendors its dependencies, and a fixed-seed sweep
+//! makes failures exactly reproducible without a shrinker). Each property
+//! runs against `CASES` independently generated inputs.
 
 use hyperminhash::hashing::bits::Digest128;
 use hyperminhash::math::{BigFloat, BigUint};
 use hyperminhash::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_params() -> impl Strategy<Value = HmhParams> {
-    (0u32..=8, 2u32..=6, 1u32..=12)
-        .prop_map(|(p, q, r)| HmhParams::new(p, q, r).expect("ranges are valid"))
+/// Cases per property (matches the old `ProptestConfig::with_cases(64)`).
+const CASES: u64 = 64;
+
+/// Deterministic input generator for one property case.
+struct Gen {
+    rng: StdRng,
 }
 
-fn arb_items() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(any::<u64>(), 0..400)
+impl Gen {
+    fn new(property: u64, case: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(property.wrapping_mul(0x9e37_79b9) ^ case) }
+    }
+
+    /// Valid `HmhParams` over the old strategy's ranges:
+    /// p ∈ [0,8], q ∈ [2,6], r ∈ [1,12].
+    fn params(&mut self) -> HmhParams {
+        let p = self.rng.gen_range(0u32..=8);
+        let q = self.rng.gen_range(2u32..=6);
+        let r = self.rng.gen_range(1u32..=12);
+        HmhParams::new(p, q, r).expect("ranges are valid")
+    }
+
+    /// Item vector of length 0..400 with arbitrary u64 items.
+    fn items(&mut self) -> Vec<u64> {
+        let len = self.rng.gen_range(0usize..400);
+        (0..len).map(|_| self.rng.gen()).collect()
+    }
+
+    /// Identifier matching `[a-z][a-z0-9_]{0,8}` (the old regex strategy).
+    fn ident(&mut self) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut s = String::new();
+        s.push(FIRST[self.rng.gen_range(0usize..FIRST.len())] as char);
+        let extra = self.rng.gen_range(0usize..=8);
+        for _ in 0..extra {
+            s.push(REST[self.rng.gen_range(0usize..REST.len())] as char);
+        }
+        s
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Run `body` for `CASES` deterministic cases of property `id`.
+fn check(id: u64, mut body: impl FnMut(&mut Gen)) {
+    for case in 0..CASES {
+        let mut g = Gen::new(id, case);
+        body(&mut g);
+    }
+}
 
-    /// Union is commutative, associative, idempotent, with empty identity —
-    /// the semilattice HyperMinHash needs for CNF clause evaluation.
-    #[test]
-    fn union_semilattice(params in arb_params(), xs in arb_items(), ys in arb_items(), zs in arb_items()) {
-        let a = HyperMinHash::from_items(params, xs);
-        let b = HyperMinHash::from_items(params, ys);
-        let c = HyperMinHash::from_items(params, zs);
-        prop_assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
-        prop_assert_eq!(
+/// Union is commutative, associative, idempotent, with empty identity —
+/// the semilattice HyperMinHash needs for CNF clause evaluation.
+#[test]
+fn union_semilattice() {
+    check(1, |g| {
+        let params = g.params();
+        let a = HyperMinHash::from_items(params, g.items());
+        let b = HyperMinHash::from_items(params, g.items());
+        let c = HyperMinHash::from_items(params, g.items());
+        assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+        assert_eq!(
             a.union(&b).unwrap().union(&c).unwrap(),
             a.union(&b.union(&c).unwrap()).unwrap()
         );
-        prop_assert_eq!(a.union(&a).unwrap(), a.clone());
-        prop_assert_eq!(a.union(&HyperMinHash::new(params)).unwrap(), a);
-    }
+        assert_eq!(a.union(&a).unwrap(), a.clone());
+        assert_eq!(a.union(&HyperMinHash::new(params)).unwrap(), a);
+    });
+}
 
-    /// The sketch is a pure set function: order and duplicates never matter.
-    #[test]
-    fn sketch_is_order_and_multiplicity_invariant(params in arb_params(), mut xs in arb_items()) {
+/// The sketch is a pure set function: order and duplicates never matter.
+#[test]
+fn sketch_is_order_and_multiplicity_invariant() {
+    check(2, |g| {
+        let params = g.params();
+        let mut xs = g.items();
         let forward = HyperMinHash::from_items(params, xs.clone());
         xs.reverse();
         let mut with_dups = xs.clone();
         with_dups.extend(xs.iter().copied());
         let backward_dups = HyperMinHash::from_items(params, with_dups);
-        prop_assert_eq!(forward, backward_dups);
-    }
+        assert_eq!(forward, backward_dups);
+    });
+}
 
-    /// Union of sketches equals the sketch of the union of the item sets.
-    #[test]
-    fn union_homomorphism(params in arb_params(), xs in arb_items(), ys in arb_items()) {
+/// Union of sketches equals the sketch of the union of the item sets.
+#[test]
+fn union_homomorphism() {
+    check(3, |g| {
+        let params = g.params();
+        let xs = g.items();
+        let ys = g.items();
         let a = HyperMinHash::from_items(params, xs.clone());
         let b = HyperMinHash::from_items(params, ys.clone());
         let mut all = xs;
         all.extend(ys);
         let direct = HyperMinHash::from_items(params, all);
-        prop_assert_eq!(a.union(&b).unwrap(), direct);
-    }
+        assert_eq!(a.union(&b).unwrap(), direct);
+    });
+}
 
-    /// Jaccard of a sketch with itself is 1 (when non-empty), 0 with a
-    /// disjoint-universe sketch is small, and always within [0, 1].
-    #[test]
-    fn jaccard_range_and_identity(params in arb_params(), xs in arb_items()) {
+/// Jaccard of a sketch with itself is 1 (when non-empty) and always
+/// within [0, 1].
+#[test]
+fn jaccard_range_and_identity() {
+    check(4, |g| {
+        let params = g.params();
+        let xs = g.items();
         let a = HyperMinHash::from_items(params, xs.clone());
         let j = a.jaccard(&a.clone()).unwrap();
-        prop_assert!((0.0..=1.0).contains(&j.estimate));
+        assert!((0.0..=1.0).contains(&j.estimate));
         if !xs.is_empty() {
-            prop_assert_eq!(j.raw, 1.0);
+            assert_eq!(j.raw, 1.0);
         }
-    }
+    });
+}
 
-    /// Cardinality is monotone under union (estimates may wobble, but the
-    /// union estimate can never drop below either input's by more than the
-    /// estimator noise floor — and registers are exactly monotone).
-    #[test]
-    fn union_registers_monotone(params in arb_params(), xs in arb_items(), ys in arb_items()) {
-        let a = HyperMinHash::from_items(params, xs);
-        let b = HyperMinHash::from_items(params, ys);
+/// Registers are exactly monotone under union: a union never loses a
+/// register, and each register only moves up the (counter, minimum)
+/// lexicographic order.
+#[test]
+fn union_registers_monotone() {
+    check(5, |g| {
+        let params = g.params();
+        let a = HyperMinHash::from_items(params, g.items());
+        let b = HyperMinHash::from_items(params, g.items());
         let u = a.union(&b).unwrap();
         for bucket in 0..params.num_buckets() {
-            let ra = a.register(bucket);
-            let ru = u.register(bucket);
-            match (ra, ru) {
+            match (a.register(bucket), u.register(bucket)) {
                 (Some((ca, ma)), Some((cu, mu))) => {
-                    prop_assert!(cu > ca || (cu == ca && mu <= ma));
+                    assert!(cu > ca || (cu == ca && mu <= ma));
                 }
-                (Some(_), None) => prop_assert!(false, "union lost a register"),
+                (Some(_), None) => panic!("union lost a register"),
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    /// Serde round-trips are the identity.
-    #[test]
-    fn serde_identity(params in arb_params(), xs in arb_items()) {
-        let a = HyperMinHash::from_items(params, xs);
+/// Serde round-trips are the identity.
+#[test]
+fn serde_identity() {
+    check(6, |g| {
+        let params = g.params();
+        let a = HyperMinHash::from_items(params, g.items());
         let json = serde_json::to_string(&a).unwrap();
         let back: HyperMinHash = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(a, back);
-    }
+        assert_eq!(a, back);
+    });
+}
 
-    /// Digest bit-field extraction is consistent: take_bits of adjacent
-    /// fields concatenate to take_bits of the whole span.
-    #[test]
-    fn digest_bitfields_concatenate(hi in any::<u64>(), lo in any::<u64>(), start in 0u32..100, a in 1u32..20, b in 1u32..20) {
-        let d = Digest128::new(hi, lo);
+/// Digest bit-field extraction is consistent: take_bits of adjacent
+/// fields concatenate to take_bits of the whole span.
+#[test]
+fn digest_bitfields_concatenate() {
+    check(7, |g| {
+        let d = Digest128::new(g.rng.gen(), g.rng.gen());
+        let start = g.rng.gen_range(0u32..100);
+        let a = g.rng.gen_range(1u32..20);
+        let b = g.rng.gen_range(1u32..20);
         let whole = d.take_bits(start, a + b);
         let left = d.take_bits(start, a);
         let right = d.take_bits(start + a, b);
-        prop_assert_eq!(whole, (left << b) | right);
-    }
+        assert_eq!(whole, (left << b) | right);
+    });
+}
 
-    /// BigUint arithmetic agrees with u128 where both apply.
-    #[test]
-    fn biguint_matches_u128(x in any::<u64>(), y in any::<u64>()) {
+/// BigUint arithmetic agrees with u128 where both apply.
+#[test]
+fn biguint_matches_u128() {
+    check(8, |g| {
+        let (x, y): (u64, u64) = (g.rng.gen(), g.rng.gen());
         let (bx, by) = (BigUint::from_u64(x), BigUint::from_u64(y));
-        prop_assert_eq!(bx.add(&by), BigUint::from_u128(u128::from(x) + u128::from(y)));
-        prop_assert_eq!(bx.mul(&by), BigUint::from_u128(u128::from(x) * u128::from(y)));
+        assert_eq!(bx.add(&by), BigUint::from_u128(u128::from(x) + u128::from(y)));
+        assert_eq!(bx.mul(&by), BigUint::from_u128(u128::from(x) * u128::from(y)));
         let (big, small) = if x >= y { (x, y) } else { (y, x) };
-        prop_assert_eq!(
+        assert_eq!(
             BigUint::from_u64(big).sub(&BigUint::from_u64(small)),
             BigUint::from_u64(big - small)
         );
-        prop_assert_eq!(bx.shl(13).shr(13), bx);
-    }
+        assert_eq!(bx.shl(13).shr(13), bx);
+    });
+}
 
-    /// BigFloat add/mul agree with f64 on exactly-representable inputs.
-    #[test]
-    fn bigfloat_matches_f64(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+/// BigFloat add/mul agree with f64 on exactly-representable inputs.
+#[test]
+fn bigfloat_matches_f64() {
+    check(9, |g| {
         // Quantize to dyadics so f64 arithmetic is exact.
-        let a = (a * 1024.0).round() / 1024.0;
-        let b = (b * 1024.0).round() / 1024.0;
+        let a = (g.rng.gen_range(-1e6f64..1e6) * 1024.0).round() / 1024.0;
+        let b = (g.rng.gen_range(-1e6f64..1e6) * 1024.0).round() / 1024.0;
         let (ba, bb) = (BigFloat::from_f64(a), BigFloat::from_f64(b));
-        prop_assert_eq!(ba.add(&bb).to_f64(), a + b);
-        prop_assert_eq!(ba.sub(&bb).to_f64(), a - b);
-        prop_assert_eq!(ba.mul(&bb).to_f64(), a * b);
-    }
+        assert_eq!(ba.add(&bb).to_f64(), a + b);
+        assert_eq!(ba.sub(&bb).to_f64(), a - b);
+        assert_eq!(ba.mul(&bb).to_f64(), a * b);
+    });
+}
 
-    /// CNF parser round-trips through Display.
-    #[test]
-    fn cnf_parser_roundtrip(clauses in proptest::collection::vec(proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..4), 1..4)) {
+/// CNF parser round-trips through Display.
+#[test]
+fn cnf_parser_roundtrip() {
+    check(10, |g| {
+        let num_clauses = g.rng.gen_range(1usize..4);
+        let clauses: Vec<Vec<String>> = (0..num_clauses)
+            .map(|_| {
+                let len = g.rng.gen_range(1usize..4);
+                (0..len).map(|_| g.ident()).collect()
+            })
+            .collect();
         let query = hyperminhash::cnf::CnfQuery::new(clauses).unwrap();
         let reparsed = hyperminhash::cnf::parse(&query.to_string()).unwrap();
-        prop_assert_eq!(query, reparsed);
-    }
+        assert_eq!(query, reparsed);
+    });
+}
 
-    /// reduce_r is exactly direct construction at the smaller r, on
-    /// arbitrary item sets (the Lemma-4 prefix-order argument).
-    #[test]
-    fn reduce_r_exactness(xs in arb_items(), new_r in 1u32..10) {
+/// reduce_r is exactly direct construction at the smaller r, on
+/// arbitrary item sets (the Lemma-4 prefix-order argument).
+#[test]
+fn reduce_r_exactness() {
+    check(11, |g| {
+        let xs = g.items();
+        let new_r = g.rng.gen_range(1u32..10);
         let wide = HmhParams::new(5, 4, 10).unwrap();
         let narrow = HmhParams::new(5, 4, new_r).unwrap();
         let sketch = HyperMinHash::from_items(wide, xs.clone());
         let direct = HyperMinHash::from_items(narrow, xs);
-        prop_assert_eq!(sketch.reduce_r(new_r).unwrap(), direct);
-    }
+        assert_eq!(sketch.reduce_r(new_r).unwrap(), direct);
+    });
+}
 
-    /// k-partition MinHash shares the same set-function and union laws.
-    #[test]
-    fn kpartition_set_function(xs in arb_items(), ys in arb_items()) {
+/// k-partition MinHash shares the same set-function and union laws.
+#[test]
+fn kpartition_set_function() {
+    check(12, |g| {
+        let xs = g.items();
+        let ys = g.items();
         let oracle = RandomOracle::default();
         let build = |items: &[u64]| {
             let mut s = KPartitionMinHash::new(6, 12, oracle);
@@ -169,6 +259,6 @@ proptest! {
         let b = build(&ys);
         let mut all = xs.clone();
         all.extend(ys.iter().copied());
-        prop_assert_eq!(a.union(&b).unwrap(), build(&all));
-    }
+        assert_eq!(a.union(&b).unwrap(), build(&all));
+    });
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal bench runner exposing the criterion surface its benches use:
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], [`black_box`],
+//! [`BenchmarkId`], [`Throughput`], benchmark groups, and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery it times a fixed batch of
+//! iterations per benchmark and prints mean wall-clock time per iteration.
+//! Under `cargo test` (bench targets run with `--test`) it executes each
+//! closure once so benches stay compile- and run-checked without costing
+//! CI time.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many timed iterations a full bench run performs per benchmark.
+const DEFAULT_ITERS: u64 = 30;
+
+/// Top-level bench context.
+pub struct Criterion {
+    sample_size: u64,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { sample_size: DEFAULT_ITERS, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Configure the number of timed iterations (criterion-compatible).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Criterion-compatible no-op: parse CLI configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let iters = if self.test_mode { 1 } else { self.sample_size };
+        run_bench(name, iters, f);
+        self
+    }
+}
+
+/// A group of related benchmarks (criterion-compatible subset).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set throughput metadata (accepted; not used in reporting).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Override this group's iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    fn iters(&self) -> u64 {
+        if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        }
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_bench(&label, self.iters(), f);
+        self
+    }
+
+    /// Run a parameterized benchmark within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(&label, self.iters(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (criterion-compatible no-op).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, iters: u64, mut f: F) {
+    let mut bencher = Bencher { iters, elapsed_ns: 0, timed_iters: 0 };
+    f(&mut bencher);
+    if bencher.timed_iters > 0 {
+        let per_iter = bencher.elapsed_ns as f64 / bencher.timed_iters as f64;
+        println!("bench: {label:<50} {:>12.1} ns/iter", per_iter);
+    }
+}
+
+/// Timing handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.timed_iters += self.iters;
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Throughput metadata (accepted for API compatibility).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Define a group of benchmark functions (criterion-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut calls = 0u32;
+        c.bench_function("probe", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u32, |b, x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal serde-compatible surface: the [`Serialize`] / [`Deserialize`]
+//! traits, a self-describing [`Value`] data model, and (behind the
+//! `derive` feature) `#[derive(serde::Serialize, serde::Deserialize)]`
+//! macros covering the shapes this workspace uses — named-field structs,
+//! tuple structs, and enums with unit or tuple variants, externally
+//! tagged exactly like upstream serde's default representation.
+//!
+//! Unlike upstream serde there is no `Serializer`/`Deserializer` visitor
+//! machinery: serialization goes through an owned [`Value`] tree that
+//! `serde_json` prints and parses. That is entirely sufficient for the
+//! JSON round-trips this workspace performs, at the cost of one
+//! intermediate allocation per value — irrelevant for tests and the CLI.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable type maps into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (anything that fits in `u64`).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Unsigned integer wider than 64 bits.
+    U128(u128),
+    /// Negative integer wider than 64 bits.
+    I128(i128),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (array / tuple / Vec).
+    Seq(Vec<Value>),
+    /// Map with string keys, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::U128(_) | Value::I128(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Construct from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can map themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Upstream-compatible module path for the owned-deserialization bound.
+pub mod de {
+    /// `T: DeserializeOwned` — in this stand-in, identical to
+    /// [`Deserialize`](crate::Deserialize).
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Upstream-compatible module path for serialization traits.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Look up a required struct field in a decoded map.
+pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => Err(Error(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match *v {
+                    Value::U64(x) => <$t>::try_from(x).ok(),
+                    Value::I64(x) => <$t>::try_from(x).ok(),
+                    Value::U128(x) => <$t>::try_from(x).ok(),
+                    Value::I128(x) => <$t>::try_from(x).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    Error(format!("expected {}, got {}", stringify!($t), v.kind()))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(x) => Value::U64(x),
+            Err(_) => Value::U128(*self),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::U64(x) => Ok(u128::from(x)),
+            Value::U128(x) => Ok(x),
+            Value::I64(x) => u128::try_from(x)
+                .map_err(|_| Error("negative integer for u128".into())),
+            Value::I128(x) => u128::try_from(x)
+                .map_err(|_| Error("negative integer for u128".into())),
+            _ => Err(Error(format!("expected u128, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(x) if x >= 0 => Value::U64(x as u64),
+            Ok(x) => Value::I64(x),
+            Err(_) => Value::I128(*self),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::U64(x) => Ok(i128::from(x)),
+            Value::I64(x) => Ok(i128::from(x)),
+            Value::U128(x) => i128::try_from(x)
+                .map_err(|_| Error("integer overflows i128".into())),
+            Value::I128(x) => Ok(x),
+            _ => Err(Error(format!("expected i128, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error(format!("expected bool, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            Value::U128(x) => Ok(x as f64),
+            Value::I128(x) => Ok(x as f64),
+            _ => Err(Error(format!("expected number, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error(format!("expected string, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error(format!("expected single-char string, got {}", v.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error(format!("expected sequence, got {}", v.kind())))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error(format!("expected sequence, got {}", v.kind())))?;
+        if seq.len() != N {
+            return Err(Error(format!("expected {N}-element array, got {}", seq.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($len:literal => ($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v
+                    .as_seq()
+                    .ok_or_else(|| Error(format!("expected sequence, got {}", v.kind())))?;
+                if seq.len() != $len {
+                    return Err(Error(format!(
+                        "expected {}-tuple, got {} elements", $len, seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    1 => (A: 0),
+    2 => (A: 0, B: 1),
+    3 => (A: 0, B: 1, C: 2),
+    4 => (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(u128::from_value(&(1u128 << 100).to_value()).unwrap(), 1u128 << 100);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        let v = vec![(1u32, 2u64), (3, 4)];
+        assert_eq!(Vec::<(u32, u64)>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err(), "range check");
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(Vec::<u64>::from_value(&Value::U64(1)).is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde`'s `Value` data model, using only the built-in
+//! `proc_macro` API (no `syn`/`quote` — the build environment has no
+//! crates.io access). Supported shapes, which cover every derived type in
+//! this workspace:
+//!
+//! - structs with named fields (externally a map, like upstream serde)
+//! - newtype structs (transparent, like upstream)
+//! - tuple structs with 2+ fields (a sequence)
+//! - unit structs (`null`)
+//! - enums with unit variants (a string) and tuple variants
+//!   (`{"Variant": payload}` / `{"Variant": [fields...]}`), i.e.
+//!   upstream's externally-tagged default
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are not
+//! supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = ident_at(&tokens, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("expected type name")?;
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => parse_struct(&tokens, i, name),
+        "enum" => parse_enum(&tokens, i, name),
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_struct(tokens: &[TokenTree], i: usize, name: String) -> Result<Item, String> {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream())?;
+            Ok(Item::NamedStruct { name, fields })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_top_level_fields(g.stream());
+            Ok(Item::TupleStruct { name, arity })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        _ => Err(format!("unrecognized struct body for `{name}`")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = ident_at(&tokens, i)
+            .ok_or_else(|| format!("expected field name, got `{}`", tokens[i]))?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_enum(tokens: &[TokenTree], i: usize, name: String) -> Result<Item, String> {
+    let Some(TokenTree::Group(g)) = tokens.get(i) else {
+        return Err(format!("expected enum body for `{name}`"));
+    };
+    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(&body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let vname = ident_at(&body, i)
+            .ok_or_else(|| format!("expected variant name, got `{}`", body[i]))?;
+        i += 1;
+        let arity = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "vendored serde_derive does not support struct variant `{vname}`"
+                ));
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while i < body.len() && !matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1; // the comma itself
+        variants.push((vname, arity));
+    }
+    Ok(Item::Enum { name, variants })
+}
+
+/// Skip `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advance past one type, stopping after the comma that ends the field
+/// (or at end of stream). Tracks `<`/`>` nesting so commas inside generic
+/// arguments don't terminate early; parenthesized types are single groups
+/// and need no special casing.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of comma-separated fields at the top level of a tuple body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    1 => format!(
+                        "Self::{v}(f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Serialize::to_value(f0))])"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "Self::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({v:?}), \
+                                 ::serde::Value::Seq(::std::vec![{}]))])",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, {f:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::Error(\
+                             ::std::format!(\"expected map for struct {name}, got {{}}\", v.kind())))?;\n\
+                         ::std::result::Result::Ok(Self {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let seq = v.as_seq().ok_or_else(|| ::serde::Error(\
+                             ::std::format!(\"expected sequence for {name}, got {{}}\", v.kind())))?;\n\
+                         if seq.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error(\
+                                 ::std::format!(\"expected {arity} fields for {name}, got {{}}\", seq.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match v {{\n\
+                         ::serde::Value::Null => ::std::result::Result::Ok(Self),\n\
+                         other => ::std::result::Result::Err(::serde::Error(\
+                             ::std::format!(\"expected null for {name}, got {{}}\", other.kind()))),\n\
+                     }}\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok(Self::{v})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| match arity {
+                    1 => format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                             Self::{v}(::serde::Deserialize::from_value(payload)?))"
+                    ),
+                    n => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{\n\
+                                 let seq = payload.as_seq().ok_or_else(|| ::serde::Error(\
+                                     ::std::format!(\"expected sequence payload for {name}::{v}\")))?;\n\
+                                 if seq.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error(\
+                                         ::std::format!(\"expected {n} fields for {name}::{v}, got {{}}\", seq.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok(Self::{v}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::Error(\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (k, payload) = &m[0];\n\
+                                 let _ = payload;\n\
+                                 match k.as_str() {{\n\
+                                     {}\n\
+                                     other => ::std::result::Result::Err(::serde::Error(\
+                                         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error(\
+                                 ::std::format!(\"expected variant of {name}, got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(",\n"))
+                }
+            )
+        }
+    }
+}
