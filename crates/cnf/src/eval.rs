@@ -120,7 +120,8 @@ pub fn evaluate_inclusion_exclusion(
                 });
             }
         }
-        let card = union.expect("mask non-empty").cardinality();
+        let card =
+            union.expect("invariant: mask non-empty, so at least one sketch merged").cardinality();
         if mask.count_ones() % 2 == 1 {
             total += card;
         } else {

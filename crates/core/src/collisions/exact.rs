@@ -69,7 +69,8 @@ pub fn expected_collisions(params: HmhParams, n: f64, m: f64) -> f64 {
 /// Single-bucket collision probability `Eγ(n, m)` (Proposition 3 /
 /// Lemma 4): [`expected_collisions`] of the `p = 0` sketch.
 pub fn single_bucket_collision_probability(q: u32, r: u32, n: f64, m: f64) -> f64 {
-    let params = HmhParams::new(0, q, r).expect("p = 0 with caller's q, r");
+    let params = HmhParams::new(0, q, r)
+        .expect("invariant: documented precondition — caller's q, r satisfy HmhParams bounds");
     expected_collisions(params, n, m)
 }
 

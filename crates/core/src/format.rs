@@ -135,7 +135,8 @@ pub fn decode(bytes: &[u8]) -> Result<HyperMinHash, FormatError> {
     let (p, q, r) = (u32::from(bytes[5]), u32::from(bytes[6]), u32::from(bytes[7]));
     let params = HmhParams::new(p, q, r).map_err(FormatError::InvalidParams)?;
     let algorithm = algorithm_from_byte(bytes[8])?;
-    let seed = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+    let seed =
+        u64::from_le_bytes(bytes[9..17].try_into().expect("invariant: bytes[9..17] is 8 bytes"));
 
     let bits = (params.num_buckets() as u64) * u64::from(params.word_bits());
     let num_words = bits.div_ceil(64) as usize;
@@ -144,13 +145,19 @@ pub fn decode(bytes: &[u8]) -> Result<HyperMinHash, FormatError> {
         return Err(FormatError::Truncated { expected, got: bytes.len() });
     }
     let body_end = HEADER + num_words * 8;
-    let digest = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    let digest = u64::from_le_bytes(
+        bytes[body_end..].try_into().expect("invariant: length checked 8 lines up"),
+    );
     if xxh64(&bytes[..body_end], 0) != digest {
         return Err(FormatError::ChecksumMismatch);
     }
     let words: Vec<u64> = bytes[HEADER..body_end]
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .map(|c| {
+            u64::from_le_bytes(
+                c.try_into().expect("invariant: chunks_exact(8) yields 8-byte chunks"),
+            )
+        })
         .collect();
     let packed = BitPacked::from_raw_words(params.word_bits(), params.num_buckets(), words)
         .map_err(FormatError::CorruptPayload)?;

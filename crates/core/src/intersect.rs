@@ -77,7 +77,8 @@ pub fn jaccard_many(sketches: &[&HyperMinHash]) -> Result<f64, HmhError> {
 /// k-way intersection: `t̂ₖ · |∪ᵢ Sᵢ|̂`.
 pub fn intersection_many(sketches: &[&HyperMinHash]) -> Result<IntersectionEstimate, HmhError> {
     let j = jaccard_many(sketches)?;
-    let mut union = (*sketches.first().expect("validated by jaccard_many")).clone();
+    let mut union =
+        (*sketches.first().expect("invariant: jaccard_many errors on empty input")).clone();
     for s in &sketches[1..] {
         union.merge(s)?;
     }

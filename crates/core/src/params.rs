@@ -58,12 +58,12 @@ impl HmhParams {
 
     /// The Figure 6 configuration: 256 bytes, `p = 8, q = 4, r = 4`.
     pub fn figure6() -> Self {
-        Self::new(8, 4, 4).expect("figure 6 parameters are valid")
+        Self::new(8, 4, 4).expect("invariant: figure 6 parameters are valid")
     }
 
     /// The §5 headline configuration: 64 KiB, `p = 15, q = 6, r = 10`.
     pub fn headline() -> Self {
-        Self::new(15, 6, 10).expect("headline parameters are valid")
+        Self::new(15, 6, 10).expect("invariant: headline parameters are valid")
     }
 
     /// Partition exponent `p`.
@@ -83,11 +83,13 @@ impl HmhParams {
 
     /// Number of buckets `m = 2^p`.
     pub const fn num_buckets(self) -> usize {
+        // hmh-lint: allow(shift-overflow-hazard) — p ≤ 24 enforced by HmhParams::new
         1 << self.p
     }
 
     /// Counter saturation value `cap = 2^q − 1`.
     pub const fn cap(self) -> u32 {
+        // hmh-lint: allow(shift-overflow-hazard) — q ≤ 6 enforced by HmhParams::new
         (1 << self.q) - 1
     }
 
@@ -98,6 +100,7 @@ impl HmhParams {
 
     /// Number of mantissa values `2^r`.
     pub const fn mantissa_values(self) -> u64 {
+        // hmh-lint: allow(shift-overflow-hazard) — r ≤ 24 enforced by HmhParams::new
         1 << self.r
     }
 

@@ -99,6 +99,7 @@ impl AdaptiveHyperMinHash {
         let bucket = digest.take_bits(0, self.params.p()) as u32;
         let (counter, mantissa) =
             digest.rho_sigma(self.params.p(), self.params.cap(), self.params.r());
+        debug_assert!(mantissa < self.params.mantissa_values(), "rho_sigma yields r ≤ 24 bits");
         self.observe(bucket as usize, counter, mantissa as u32);
     }
 
@@ -149,6 +150,7 @@ impl AdaptiveHyperMinHash {
         self.promote();
         match self.repr {
             Repr::Dense(d) => d,
+            // hmh-lint: allow(panic-in-lib) — promote() above guarantees Repr::Dense
             Repr::Sparse(_) => unreachable!("just promoted"),
         }
     }

@@ -22,7 +22,7 @@ fn fmix64(mut k: u64) -> u64 {
 
 #[inline]
 fn read_u64_le(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+    u64::from_le_bytes(b[..8].try_into().expect("invariant: b[..8] is 8 bytes"))
 }
 
 /// One-shot Murmur3 x64 128-bit hash of `data`.

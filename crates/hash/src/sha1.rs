@@ -54,7 +54,9 @@ impl Sha1 {
         }
         while data.len() >= 64 {
             let (block, rest) = data.split_at(64);
-            self.compress(block.try_into().expect("64-byte block"));
+            self.compress(
+                block.try_into().expect("invariant: split_at(64) yields a 64-byte block"),
+            );
             data = rest;
         }
         self.buf[..data.len()].copy_from_slice(data);
@@ -83,7 +85,9 @@ impl Sha1 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+            w[i] = u32::from_be_bytes(
+                chunk.try_into().expect("invariant: chunks_exact(4) yields 4-byte chunks"),
+            );
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
@@ -135,8 +139,12 @@ pub fn sha1_128(data: &[u8], seed: u64) -> Digest128 {
     h.update(&seed.to_be_bytes());
     h.update(data);
     let d = h.finalize();
-    let hi = u64::from_be_bytes(d[0..8].try_into().expect("8 bytes"));
-    let lo = u64::from_be_bytes(d[8..16].try_into().expect("8 bytes"));
+    let hi = u64::from_be_bytes(
+        d[0..8].try_into().expect("invariant: 8-byte slice of the 20-byte digest"),
+    );
+    let lo = u64::from_be_bytes(
+        d[8..16].try_into().expect("invariant: 8-byte slice of the 20-byte digest"),
+    );
     Digest128::new(hi, lo)
 }
 

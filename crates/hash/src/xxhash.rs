@@ -15,12 +15,12 @@ const PRIME64_5: u64 = 0x27d4_eb2f_1656_67c5;
 
 #[inline]
 fn read_u64_le(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+    u64::from_le_bytes(b[..8].try_into().expect("invariant: b[..8] is 8 bytes"))
 }
 
 #[inline]
 fn read_u32_le(b: &[u8]) -> u32 {
-    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+    u32::from_le_bytes(b[..4].try_into().expect("invariant: b[..4] is 4 bytes"))
 }
 
 #[inline]

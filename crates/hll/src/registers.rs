@@ -119,7 +119,7 @@ impl BitPacked {
         }
         let tail_bits = (bits % 64) as u32;
         if tail_bits != 0 {
-            let last = *words.last().expect("len > 0 when tail_bits > 0");
+            let last = *words.last().expect("invariant: len > 0 when tail_bits > 0");
             if last >> tail_bits != 0 {
                 return Err("non-zero padding bits past the last cell".to_string());
             }

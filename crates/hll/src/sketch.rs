@@ -88,6 +88,7 @@ impl HyperLogLog {
 
     /// Number of registers `m = 2^p`.
     pub fn num_registers(&self) -> usize {
+        // hmh-lint: allow(shift-overflow-hazard) — p ∈ 4..=24 asserted by with_oracle
         1 << self.p
     }
 

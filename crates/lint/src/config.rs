@@ -1,0 +1,233 @@
+//! `Lint.toml` — a minimal TOML-subset parser.
+//!
+//! The linter has no crates.io dependencies, so it reads its own config:
+//! `[section.sub]` headers, `key = value` pairs where a value is a bool,
+//! an integer, a `"string"`, or an array of strings (single-line or
+//! spread over multiple lines). That is the entire dialect `Lint.toml`
+//! uses; anything else is a parse error with a line number, not a silent
+//! misread — a linter whose config fails open is worse than no linter.
+
+use std::collections::BTreeMap;
+
+/// A parsed config value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    List(Vec<String>),
+}
+
+/// Parsed configuration: `section.key` → value (BTreeMap for
+/// deterministic iteration — diagnostics must be byte-stable run to run).
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Config {
+    /// Parse config text; `Err` carries `(line, message)`.
+    pub fn parse(text: &str) -> Result<Self, (usize, String)> {
+        let mut entries = BTreeMap::new();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err((lineno, format!("unclosed section header `{line}`")));
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err((lineno, format!("expected `key = value`, got `{line}`")));
+            };
+            let key = key.trim();
+            let mut val = val.trim().to_string();
+            // Multi-line array: keep consuming until the bracket closes.
+            if val.starts_with('[') && !balanced(&val) {
+                for (_, cont) in lines.by_ref() {
+                    val.push(' ');
+                    val.push_str(strip_comment(cont).trim());
+                    if balanced(&val) {
+                        break;
+                    }
+                }
+            }
+            let parsed = parse_value(&val).map_err(|e| (lineno, e))?;
+            let full_key =
+                if section.is_empty() { key.to_string() } else { format!("{section}.{key}") };
+            entries.insert(full_key, parsed);
+        }
+        Ok(Self { entries })
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    pub fn get_bool(&self, key: &str, default: bool) -> bool {
+        match self.entries.get(key) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+
+    pub fn get_int(&self, key: &str, default: i64) -> i64 {
+        match self.entries.get(key) {
+            Some(Value::Int(n)) => *n,
+            _ => default,
+        }
+    }
+
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.entries.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String-list value; `None` when the key is absent (callers treat
+    /// that as "default scope"), `Some(vec![])` for an explicit `[]`.
+    pub fn get_list(&self, key: &str) -> Option<&[String]> {
+        match self.entries.get(key) {
+            Some(Value::List(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Are `[`/`]` and quotes balanced (i.e. is this value complete)?
+fn balanced(val: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in val.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+fn parse_value(val: &str) -> Result<Value, String> {
+    if val == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if val == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = val.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(format!("unclosed array `{val}`"));
+        };
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(s) => items.push(s),
+                other => return Err(format!("arrays hold strings only, got `{other:?}`")),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(body) = val.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("unclosed string `{val}`"));
+        };
+        return Ok(Value::Str(body.replace("\\\"", "\"").replace("\\\\", "\\")));
+    }
+    val.parse::<i64>().map(Value::Int).map_err(|_| format!("unrecognized value `{val}`"))
+}
+
+/// Split on commas outside quotes.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&body[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_dialect() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[rules.panic-in-lib]
+allow_crates = ["cli", "bench"]  # trailing comment
+invariant_prefix = "invariant: "
+enabled = true
+window = 10
+
+[rules.float-eq]
+allow_literals = [
+    "0.0",
+    "1.0",
+]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            cfg.get_list("rules.panic-in-lib.allow_crates"),
+            Some(&["cli".to_string(), "bench".to_string()][..])
+        );
+        assert_eq!(cfg.get_str("rules.panic-in-lib.invariant_prefix"), Some("invariant: "));
+        assert!(cfg.get_bool("rules.panic-in-lib.enabled", false));
+        assert_eq!(cfg.get_int("rules.panic-in-lib.window", 0), 10);
+        assert_eq!(cfg.get_list("rules.float-eq.allow_literals").map(<[String]>::len), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Config::parse("[unclosed").is_err());
+        assert!(Config::parse("key value").is_err());
+        assert!(Config::parse("key = [\"a\"").is_err());
+        assert!(Config::parse("key = nonsense").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("key = \"a # b\"").expect("parses");
+        assert_eq!(cfg.get_str("key"), Some("a # b"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Diagnostics: the linter's output type and its two renderers.
+//!
+//! Human output mirrors rustc's shape (`error[rule]: message` with a
+//! `-->` span line) so editors that parse rustc output get clickable
+//! spans for free. JSON output is a stable array-of-objects for CI and
+//! tooling; it is emitted by a hand-rolled serializer so the lint crate
+//! stays dependency-free.
+
+use std::fmt::Write as _;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; fails the run only under `--deny`.
+    Warning,
+    /// An invariant violation; always fails the run.
+    Error,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding with an exact span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: String,
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    pub message: String,
+    /// Optional hint: why this matters / how to fix or suppress.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(
+        rule: &str,
+        severity: Severity,
+        file: &str,
+        line: usize,
+        col: usize,
+        message: String,
+    ) -> Self {
+        Self {
+            rule: rule.to_string(),
+            severity,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+            note: None,
+        }
+    }
+
+    pub fn with_note(mut self, note: String) -> Self {
+        self.note = Some(note);
+        self
+    }
+}
+
+/// Sort for stable output: file, then line, then column, then rule.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+}
+
+/// Render one diagnostic for humans.
+pub fn render_human(d: &Diagnostic) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", d.severity.label(), d.rule, d.message);
+    let _ = writeln!(out, "  --> {}:{}:{}", d.file, d.line, d.col);
+    if let Some(note) = &d.note {
+        let _ = writeln!(out, "  note: {note}");
+    }
+    out
+}
+
+/// Render the full run as a JSON array (one object per diagnostic).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(
+            out,
+            "\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}",
+            json_str(&d.rule),
+            json_str(d.severity.label()),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(&d.message),
+        );
+        if let Some(note) = &d.note {
+            let _ = write!(out, ",\"note\":{}", json_str(note));
+        }
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// JSON string escaping per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic::new("float-eq", Severity::Error, "a/b.rs", 3, 7, "x \"y\"\n".into());
+        let json = render_json(&[d]);
+        assert!(json.contains("\"rule\":\"float-eq\""));
+        assert!(json.contains("\\\"y\\\"\\n"));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn human_render_has_clickable_span() {
+        let d = Diagnostic::new("durability", Severity::Warning, "s.rs", 9, 2, "m".into())
+            .with_note("n".into());
+        let text = render_human(&d);
+        assert!(text.contains("warning[durability]: m"));
+        assert!(text.contains("--> s.rs:9:2"));
+        assert!(text.contains("note: n"));
+    }
+}

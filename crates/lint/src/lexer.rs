@@ -1,0 +1,399 @@
+//! A small, self-contained Rust lexer.
+//!
+//! Tokenizes exactly the surface the rules need to reason about safely:
+//! string/char/byte literals (including raw strings with arbitrary `#`
+//! guards), line and block comments (including nesting), identifiers,
+//! numbers, lifetimes, and punctuation. The guarantee the rule engine
+//! depends on is *full fidelity*: concatenating the text of every token
+//! reproduces the input byte-for-byte, so byte offsets, line and column
+//! numbers in diagnostics are exact, and "is this `<<` inside a string?"
+//! has a definite answer.
+//!
+//! Unrecognized bytes degrade to one-byte [`TokenKind::Punct`] tokens —
+//! the linter must never panic on weird input (it scans the same files a
+//! crash-safety-obsessed store crate does).
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nesting respected; unterminated runs to end of input.
+    BlockComment,
+    /// `"…"` with escapes.
+    Str,
+    /// `r"…"` / `r#"…"#` with any number of `#` guards.
+    RawStr,
+    /// `b"…"` byte string.
+    ByteStr,
+    /// `br"…"` / `br#"…"#` raw byte string.
+    RawByteStr,
+    /// `'x'`, `'\n'`, `'\''`, `'"'` — a character literal.
+    Char,
+    /// `b'x'` byte literal.
+    Byte,
+    /// `'label` / `'a` — a lifetime or loop label.
+    Lifetime,
+    /// Identifier or keyword, including raw `r#ident`.
+    Ident,
+    /// Integer or float literal, with suffix if present.
+    Number,
+    /// Any single other byte (operators, brackets, `…`).
+    Punct,
+}
+
+/// One lexed token: classification plus its exact span in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into a full-fidelity token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = self.next_kind();
+            out.push(Token { kind, start, end: self.pos, line, col });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, keeping columns
+    /// meaningful for ASCII-heavy source.
+    fn bump(&mut self) {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while let Some(c) = self.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 && self.pos < self.src.len() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        self.bump_n(2);
+                        depth += 1;
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        self.bump_n(2);
+                        depth -= 1;
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                self.quoted_string();
+                TokenKind::Str
+            }
+            b'r' if self.raw_string_ahead(1) => {
+                self.bump(); // r
+                self.raw_string_body();
+                TokenKind::RawStr
+            }
+            b'b' if self.peek(1) == Some(b'"') => {
+                self.bump(); // b
+                self.quoted_string();
+                TokenKind::ByteStr
+            }
+            b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                self.bump_n(2); // br
+                self.raw_string_body();
+                TokenKind::RawByteStr
+            }
+            b'b' if self.peek(1) == Some(b'\'') => {
+                self.bump(); // b
+                self.char_literal();
+                TokenKind::Byte
+            }
+            b'\'' => self.quote(),
+            _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                // `r#ident` raw identifiers fold into Ident.
+                if b == b'r'
+                    && self.peek(1) == Some(b'#')
+                    && self.peek(2).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    self.bump_n(2);
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+                {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                self.number();
+                TokenKind::Number
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Is `r#*"` (zero or more `#`) next, starting `offset` bytes ahead?
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Consume `#*" … "#*` (caller consumed the `r` / `br` prefix).
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.src.len() {
+            if self.peek(0) == Some(b'"') {
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consume `"…"` with `\`-escapes; unterminated runs to end of input.
+    fn quoted_string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consume `'…'` after an optional `b`; caller consumed the `b`.
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                b'\n' => return, // malformed; don't swallow the file
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) from a stray quote.
+    fn quote(&mut self) -> TokenKind {
+        // An escape is always a char literal: '\n', '\'', '\u{1F600}'.
+        if self.peek(1) == Some(b'\\') {
+            self.char_literal();
+            return TokenKind::Char;
+        }
+        // One (possibly multi-byte) char followed by a closing quote. Scan
+        // past UTF-8 continuation bytes to find the candidate close.
+        let mut i = 2;
+        while self.peek(i).is_some_and(|c| c & 0xc0 == 0x80) {
+            i += 1;
+        }
+        if self.peek(1).is_some_and(|c| c != b'\'' && c != b'\n') && self.peek(i) == Some(b'\'') {
+            self.char_literal();
+            return TokenKind::Char;
+        }
+        // Lifetime: quote followed by ident chars.
+        if self.peek(1).is_some_and(|c| c == b'_' || c.is_ascii_alphabetic()) {
+            self.bump(); // '
+            while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+
+    /// Consume an integer or float literal, including `0x…` radix
+    /// prefixes, `_` separators, exponents and type suffixes.
+    fn number(&mut self) {
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        if radix_prefixed {
+            self.bump_n(2);
+            while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_digit()) {
+            self.bump();
+        }
+        // Fraction: `.` followed by a digit (so `1..10` and `x.0` and
+        // method calls like `1.max(2)` stay out).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+            if self.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump_n(1 + sign);
+                while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix: `u64`, `f32`, `usize`, …
+        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+            self.bump();
+        }
+    }
+}
+
+/// Whether a [`TokenKind::Number`] literal text denotes a float.
+pub fn number_is_float(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    text.contains("f32")
+        || text.contains("f64")
+        || text.contains('.')
+        || (text.contains(['e', 'E']) && !text.contains(['u', 'i']))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let src = r###"fn main() { let s = r#"raw "inner" text"#; /* a /* nested */ comment */ let c = '"'; } // tail"###;
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn classifies_the_tricky_cases() {
+        let got = kinds(r#"'a' 'b "x" // not a comment inside"#);
+        assert_eq!(got[0], (TokenKind::Char, "'a'".into()));
+        assert_eq!(got[1], (TokenKind::Lifetime, "'b".into()));
+        assert_eq!(got[2], (TokenKind::Str, "\"x\"".into()));
+        assert_eq!(got[3].0, TokenKind::LineComment);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert!(number_is_float("1.5"));
+        assert!(number_is_float("1e-9"));
+        assert!(number_is_float("2f64"));
+        assert!(!number_is_float("0xff"));
+        assert!(!number_is_float("1_000u64"));
+        let got = kinds("1..10 1.5e3 0b1010u8");
+        assert_eq!(got[0], (TokenKind::Number, "1".into()));
+        assert_eq!(got[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[3], (TokenKind::Number, "10".into()));
+        assert_eq!(got[4], (TokenKind::Number, "1.5e3".into()));
+        assert_eq!(got[5], (TokenKind::Number, "0b1010u8".into()));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "ab\n  cd";
+        let toks: Vec<Token> =
+            lex(src).into_iter().filter(|t| t.kind == TokenKind::Ident).collect();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

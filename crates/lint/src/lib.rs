@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+//! # hmh-lint
+//!
+//! Workspace-native static analysis for the HyperMinHash repo: machine-
+//! checks the bit-level and durability invariants that otherwise exist
+//! only as prose in DESIGN.md. The sketch's correctness lives in
+//! fragile bit manipulation — `q`-bit LogLog counters, `r`-bit
+//! mantissas, 128-bit digest slicing — where a shift overflow or a
+//! truncating cast silently corrupts estimates rather than crashing.
+//! These rules make that failure class a CI error:
+//!
+//! | rule | protects |
+//! |---|---|
+//! | `shift-overflow-hazard` | register packing/unpacking (Algs. 1–6) |
+//! | `truncating-cast`       | digest slicing, wire-format fields |
+//! | `panic-in-lib`          | service availability of library crates |
+//! | `float-eq`              | estimator reproducibility (Algs. 3–6) |
+//! | `nondeterminism`        | simulator/workload ground truth |
+//! | `durability`            | fsync-before-rename (DESIGN.md §6.6) |
+//! | `forbid-unsafe`         | `#![forbid(unsafe_code)]` stays put |
+//!
+//! Self-contained by design: its own lexer ([`lexer`]), config parser
+//! ([`config`]) and JSON emitter ([`diag`]) — no dependencies, so the
+//! linter can never be broken by the code it checks.
+//!
+//! ```text
+//! cargo run -p hmh-lint -- check [--deny] [--json] [--root <dir>]
+//! ```
+//!
+//! Suppressions are inline, per-rule, and must argue their case:
+//!
+//! ```text
+//! let m = 1u64 << self.p; // hmh-lint: allow(shift-overflow-hazard) — p ≤ 24 by HmhParams::new
+//! ```
+//!
+//! A suppression with no reason, naming an unknown rule, or matching no
+//! finding is itself a diagnostic.
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use config::Config;
+pub use diag::{Diagnostic, Severity};
+pub use engine::{check_workspace, find_workspace_root, lint_text, Report};
+
+/// Name of the workspace config file, looked up at the workspace root.
+pub const CONFIG_FILE: &str = "Lint.toml";
+
+/// Load `Lint.toml` from the workspace root.
+///
+/// # Errors
+/// If the file is missing or fails to parse — a linter whose config
+/// fails open is worse than no linter.
+pub fn load_config(root: &std::path::Path) -> Result<Config, String> {
+    let path = root.join(CONFIG_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Config::parse(&text).map_err(|(line, msg)| format!("{}:{line}: {msg}", path.display()))
+}

@@ -1,0 +1,131 @@
+//! `hmh-lint` binary: `check [--deny] [--json] [--root <dir>]`, `rules`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hmh_lint::diag::{render_human, render_json};
+use hmh_lint::rules::all_rules;
+use hmh_lint::{check_workspace, find_workspace_root, load_config};
+
+const USAGE: &str = "\
+hmh-lint — workspace-native static analysis for the HyperMinHash repo
+
+USAGE:
+    hmh-lint check [--deny] [--json] [--root <dir>]
+    hmh-lint rules
+
+COMMANDS:
+    check    Lint every workspace crate's src/ tree against Lint.toml
+    rules    List the rule set with one-line descriptions
+
+OPTIONS:
+    --deny         Treat warnings as errors (exit 1 on any finding)
+    --json         Emit diagnostics as a JSON array on stdout
+    --root <dir>   Workspace root (default: walk up from the current dir)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for rule in all_rules() {
+                println!("{:<24} {}", rule.name(), rule.describe());
+            }
+            println!(
+                "{:<24} engine check: #![forbid(unsafe_code)] must stay in configured lib.rs files",
+                "forbid-unsafe"
+            );
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(flags: &[String]) -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let config = match load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match check_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&report.diagnostics));
+    } else {
+        for d in &report.diagnostics {
+            print!("{}", render_human(d));
+        }
+        eprintln!(
+            "hmh-lint: {} crates, {} files scanned: {} error(s), {} warning(s)",
+            report.crates_scanned,
+            report.files_scanned,
+            report.error_count(),
+            report.warning_count(),
+        );
+    }
+
+    let failed = report.error_count() > 0 || (deny && !report.diagnostics.is_empty());
+    let has_warnings_only =
+        report.error_count() == 0 && report.warning_count() > 0 && !deny && !json;
+    if has_warnings_only {
+        eprintln!("hmh-lint: warnings do not fail the build without --deny");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

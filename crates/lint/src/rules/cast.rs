@@ -1,0 +1,175 @@
+//! `truncating-cast` — narrowing `as` casts with no adjacent mask.
+//!
+//! `x as u32` keeps the low 32 bits and throws the rest away without a
+//! trace. In digest-slicing and register-packing code that is exactly
+//! how a 128-bit hash silently loses entropy or a length field silently
+//! lies (a `name.len() as u16` on a 70 KiB name writes a plausible,
+//! wrong record). The rule accepts a narrowing cast when the bound is
+//! *visible*: the operand is masked (`&`), reduced (`%`, `.min`,
+//! `.clamp`), produced by a call whose contract bounds it
+//! (`take_bits`, `params.p()` — the configured `bounded_calls`), is a
+//! float rounding (saturating in Rust, not bit-truncating), is masked
+//! immediately after the cast, or sits under an assert/branch naming it
+//! within the enclosing lines.
+
+use super::{guarded_within, idents_in, FileCtx, Rule};
+use crate::diag::Diagnostic;
+
+pub struct TruncatingCast;
+
+const NAME: &str = "truncating-cast";
+
+impl Rule for TruncatingCast {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn describe(&self) -> &'static str {
+        "narrowing `as u8/u16/u32` cast whose operand has no visible bound or mask"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let widths = ctx.list_opt(NAME, "widths", &["u8", "u16", "u32"]);
+        let bounded = ctx.list_opt(NAME, "bounded_calls", &[]);
+        let window = ctx.int_opt(NAME, "guard_window", 10).max(0) as usize;
+        for (line_no, line) in ctx.code_lines() {
+            for (pos, width) in narrowing_casts(line, &widths) {
+                let operand = operand_before(line, pos);
+                if operand.is_empty() || is_literal(operand) {
+                    continue;
+                }
+                if operand_is_bounded(operand, &bounded) {
+                    continue;
+                }
+                // Masked or clamped immediately after the cast:
+                // `(v as u32) & mask`, `(x as u32).min(cap)` — closing
+                // parens of the cast group don't break the adjacency.
+                let after = line[pos + 4 + width.len()..].trim_start_matches([')', ' ']);
+                if after.starts_with('&')
+                    || after.starts_with(".min(")
+                    || after.starts_with(".clamp(")
+                {
+                    continue;
+                }
+                let idents = idents_in(operand);
+                if !idents.is_empty() && guarded_within(ctx.src, line_no, window, &idents, &bounded)
+                {
+                    continue;
+                }
+                out.push(
+                    ctx.error(
+                        NAME,
+                        line_no,
+                        pos + 1,
+                        format!(
+                            "truncating cast `{} as {width}` with no visible bound",
+                            operand.trim()
+                        ),
+                    )
+                    .with_note(
+                        "a narrowing `as` cast drops high bits silently; mask the operand, \
+                         bound it, or use try_into() so the overflow is an error"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Positions of ` as <width>` casts: yields `(offset_of_space, width)`.
+fn narrowing_casts<'a>(line: &str, widths: &'a [String]) -> Vec<(usize, &'a str)> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find(" as ") {
+        let pos = from + rel;
+        from = pos + 4;
+        let rest = &line[pos + 4..];
+        for w in widths {
+            if let Some(tail) = rest.strip_prefix(w.as_str()) {
+                let boundary =
+                    tail.bytes().next().is_none_or(|c| c != b'_' && !c.is_ascii_alphanumeric());
+                if boundary {
+                    out.push((pos, w.as_str()));
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The expression text just before ` as `: a balanced `(...)` group with
+/// any leading path (`params.mantissa_values()`), or a path/field chain
+/// (`self.bits`, `label`).
+fn operand_before(line: &str, as_pos: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut end = as_pos;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    loop {
+        if start > 0 && bytes[start - 1] == b')' {
+            // Walk back over a balanced group.
+            let mut depth = 0usize;
+            let mut i = start;
+            while i > 0 {
+                i -= 1;
+                match bytes[i] {
+                    b')' => depth += 1,
+                    b'(' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if depth != 0 {
+                break; // unbalanced on this line; give up gracefully
+            }
+            start = i;
+            continue;
+        }
+        if start > 0
+            && (bytes[start - 1] == b'_'
+                || bytes[start - 1] == b'.'
+                || bytes[start - 1] == b':'
+                || bytes[start - 1].is_ascii_alphanumeric())
+        {
+            start -= 1;
+            continue;
+        }
+        break;
+    }
+    &line[start..end]
+}
+
+fn is_literal(operand: &str) -> bool {
+    !operand.is_empty()
+        && operand
+            .bytes()
+            .all(|b| b.is_ascii_digit() || b == b'_' || b == b'x' || b.is_ascii_hexdigit())
+        && operand.bytes().next().is_some_and(|b| b.is_ascii_digit())
+}
+
+fn operand_is_bounded(operand: &str, bounded_calls: &[String]) -> bool {
+    const BOUNDING: &[&str] = &[
+        "&",
+        "%",
+        ".min(",
+        ".clamp(",
+        ".floor(",
+        ".round(",
+        ".ceil(",
+        ".trunc(",
+        ".leading_zeros(",
+        ".trailing_zeros(",
+        ".count_ones(",
+        "to_byte(",
+    ];
+    BOUNDING.iter().any(|t| operand.contains(t))
+        || bounded_calls.iter().any(|c| operand.contains(c.as_str()))
+}

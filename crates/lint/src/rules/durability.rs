@@ -1,0 +1,92 @@
+//! `durability` — writes and renames that skip the fsync discipline.
+//!
+//! The store's crash-safety contract (DESIGN.md §6.6) is
+//! write-temp → `sync_all` → rename: a rename publishes whatever bytes
+//! the filesystem got around to flushing, so renaming an unsynced file
+//! can atomically install *garbage* after a power loss — the salvage
+//! scanner exists because of exactly this window. In the configured
+//! crates, a bare `fs::write` or any rename without a preceding
+//! fsync-shaped call (`sync_all` / `sync_data` / `fsync` /
+//! `atomic_write`, which encapsulates the discipline) within the same
+//! function is flagged. The `Backend` trait's own primitives are the
+//! sanctioned exceptions and carry inline suppressions explaining the
+//! contract.
+
+use super::{FileCtx, Rule};
+use crate::diag::Diagnostic;
+
+pub struct Durability;
+
+const NAME: &str = "durability";
+
+const HAZARDS: &[(&str, &str)] = &[
+    ("fs::write(", "whole-file write with no fsync before it becomes visible"),
+    ("fs::rename(", "rename publishes possibly-unsynced bytes"),
+    (".rename(", "rename publishes possibly-unsynced bytes"),
+];
+
+const SYNC_TOKENS: &[&str] = &["sync_all", "sync_data", "fsync", "atomic_write"];
+
+impl Rule for Durability {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn describe(&self) -> &'static str {
+        "fs::write / rename without a preceding sync_all-shaped call in the same function"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let window = ctx.int_opt(NAME, "sync_window", 12).max(0) as usize;
+        for (line_no, line) in ctx.code_lines() {
+            for (needle, why) in HAZARDS {
+                let Some(pos) = line.find(needle) else { continue };
+                if synced_within(ctx, line_no, window) {
+                    continue;
+                }
+                out.push(
+                    ctx.error(
+                        NAME,
+                        line_no,
+                        pos + 1,
+                        format!(
+                            "`{}` without a preceding fsync: {why}",
+                            needle.trim_end_matches('(')
+                        ),
+                    )
+                    .with_note(
+                        "use atomic_write (write-temp + sync_all + rename), or fsync the \
+                         source before renaming it into place"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Any fsync-shaped call on this line or the `window` lines above it,
+/// stopping at a function boundary.
+fn synced_within(ctx: &FileCtx<'_>, line_no: usize, window: usize) -> bool {
+    for back in 0..=window {
+        let Some(n) = line_no.checked_sub(back) else { break };
+        if n == 0 {
+            break;
+        }
+        let line = ctx.src.line(n);
+        if SYNC_TOKENS.iter().any(|t| line.contains(t)) {
+            return true;
+        }
+        if back > 0 {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("fn ")
+                || trimmed.starts_with("pub fn ")
+                || trimmed.starts_with("pub(crate) fn ")
+                || trimmed.starts_with("pub(super) fn ")
+            {
+                break;
+            }
+        }
+    }
+    false
+}

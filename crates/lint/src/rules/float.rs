@@ -1,0 +1,181 @@
+//! `float-eq` — exact equality on floating-point values.
+//!
+//! The estimator stack (Algorithms 3–6: HLL head, collision correction,
+//! Jaccard, intersection) is float arithmetic end to end. `==`/`!=`
+//! against a computed float is order-of-evaluation-dependent and breaks
+//! under `-ffast-math`-style reassociation or a refactor that changes
+//! summation order (the Kahan module exists precisely because order
+//! matters). Comparisons against *exactly representable sentinels*
+//! (`0.0`, `1.0` — the configured `allow_literals`) are the idiom this
+//! codebase uses for "is this the degenerate case" guards and are
+//! allowed. Comparing with `NAN` is flagged unconditionally: it is
+//! always false and therefore always a bug.
+
+use super::{FileCtx, Rule};
+use crate::diag::Diagnostic;
+
+pub struct FloatEq;
+
+const NAME: &str = "float-eq";
+
+impl Rule for FloatEq {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn describe(&self) -> &'static str {
+        "==/!= on floats outside the sentinel guards (0.0, 1.0); NAN comparisons always flagged"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let allowed = ctx.list_opt(NAME, "allow_literals", &["0.0", "1.0", "-1.0"]);
+        for (line_no, line) in ctx.code_lines() {
+            // Segment the line at boolean/statement boundaries so a float
+            // literal elsewhere on the line cannot taint an integer
+            // comparison (and vice versa).
+            let mut seg_start = 0usize;
+            for (end, boundary) in segment_boundaries(line) {
+                let seg = &line[seg_start..end];
+                check_segment(ctx, line_no, seg_start, seg, &allowed, out);
+                seg_start = end + boundary;
+            }
+        }
+    }
+}
+
+/// Yields `(byte_offset, boundary_len)` for each segment split point,
+/// plus a final `(line.len(), 0)`.
+fn segment_boundaries(line: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if i + 1 < bytes.len() && (&bytes[i..i + 2] == b"&&" || &bytes[i..i + 2] == b"||") {
+            out.push((i, 2));
+            i += 2;
+            continue;
+        }
+        if bytes[i] == b',' || bytes[i] == b';' || bytes[i] == b'{' || bytes[i] == b'}' {
+            out.push((i, 1));
+        }
+        i += 1;
+    }
+    out.push((line.len(), 0));
+    out
+}
+
+fn check_segment(
+    ctx: &FileCtx<'_>,
+    line_no: usize,
+    seg_offset: usize,
+    seg: &str,
+    allowed: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let cmp_at = find_comparison(seg);
+    let Some(cmp) = cmp_at else { return };
+    if seg.contains("::NAN") {
+        out.push(
+            ctx.error(
+                NAME,
+                line_no,
+                seg_offset + cmp + 1,
+                "comparison with NAN is always false".to_string(),
+            )
+            .with_note("use `.is_nan()`".to_string()),
+        );
+        return;
+    }
+    for lit in float_literals(seg) {
+        let canon = canonical_float(lit);
+        if !allowed.iter().any(|a| a.as_str() == canon) {
+            out.push(
+                ctx.error(
+                    NAME,
+                    line_no,
+                    seg_offset + cmp + 1,
+                    format!("exact float comparison against `{lit}`"),
+                )
+                .with_note(
+                    "compare with a tolerance, or restructure so the sentinel is exactly \
+                     representable (0.0 / 1.0 guards are allowed)"
+                        .to_string(),
+                ),
+            );
+            return; // one finding per comparison segment
+        }
+    }
+}
+
+/// Offset of `==` or `!=` in the segment, excluding `<=`, `>=`, `=>`.
+fn find_comparison(seg: &str) -> Option<usize> {
+    let bytes = seg.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let two = &bytes[i..i + 2];
+        if two == b"!=" {
+            return Some(i);
+        }
+        if two == b"==" {
+            // Not `<==`-style (doesn't exist) and not the tail of `<=`/`>=`.
+            let prev = i.checked_sub(1).map(|p| bytes[p]);
+            if prev != Some(b'<') && prev != Some(b'>') && prev != Some(b'=') && prev != Some(b'!')
+            {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Float-literal substrings in a scrubbed segment: `1.5`, `2e-3`, `3f64`.
+fn float_literals(seg: &str) -> Vec<&str> {
+    let bytes = seg.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit()
+            && (i == 0 || {
+                let p = bytes[i - 1];
+                p != b'_' && p != b'.' && !p.is_ascii_alphanumeric()
+            })
+        {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let sign = usize::from(matches!(bytes.get(i + 1), Some(b'+' | b'-')));
+                if bytes.get(i + 1 + sign).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    i += 1 + sign;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            if seg[i..].starts_with("f32") || seg[i..].starts_with("f64") {
+                is_float = true;
+                i += 3;
+            }
+            if is_float {
+                out.push(&seg[start..i]);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Normalize a literal for the allow-list: strip `_` and float suffixes.
+fn canonical_float(lit: &str) -> String {
+    lit.replace('_', "").trim_end_matches("f64").trim_end_matches("f32").to_string()
+}

@@ -1,0 +1,70 @@
+//! `nondeterminism` — wall clocks and randomized iteration order in
+//! deterministic paths.
+//!
+//! The simulator and workload generators are the repo's ground truth:
+//! every experiment (`EXPERIMENTS.md`) and every seeded property test
+//! assumes the same inputs produce byte-identical outputs, and the
+//! fault-injection harness replays exact schedules. `Instant::now` /
+//! `SystemTime::now` smuggle wall-clock state in; `HashMap`/`HashSet`
+//! with the default `RandomState` hasher randomize iteration order per
+//! process (by design — HashDoS resistance), which silently reorders
+//! any derived output. Deterministic crates use `BTreeMap`/`BTreeSet`
+//! or explicitly seeded hashers, and take time as data, not ambient
+//! state.
+
+use super::{contains_word, FileCtx, Rule};
+use crate::diag::Diagnostic;
+
+pub struct Nondeterminism;
+
+const NAME: &str = "nondeterminism";
+
+/// `(needle, word_match, what, fix)` per hazard.
+const HAZARDS: &[(&str, bool, &str, &str)] = &[
+    ("Instant::now", false, "wall-clock read", "take the timestamp as a parameter"),
+    ("SystemTime::now", false, "wall-clock read", "take the timestamp as a parameter"),
+    ("thread_rng", true, "OS-seeded RNG", "use a seeded StdRng passed in by the caller"),
+    ("from_entropy", true, "OS-seeded RNG", "use seed_from_u64 with an explicit seed"),
+    (
+        "HashMap",
+        true,
+        "randomized iteration order (default RandomState hasher)",
+        "use BTreeMap, or a fixed-seed hasher if O(1) lookup matters",
+    ),
+    (
+        "HashSet",
+        true,
+        "randomized iteration order (default RandomState hasher)",
+        "use BTreeSet, or a fixed-seed hasher if O(1) lookup matters",
+    ),
+];
+
+impl Rule for Nondeterminism {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn describe(&self) -> &'static str {
+        "wall clocks, OS entropy, or default-hasher maps in deterministic crates"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for (line_no, line) in ctx.code_lines() {
+            for (needle, word, what, fix) in HAZARDS {
+                let hit = if *word { contains_word(line, needle) } else { line.contains(needle) };
+                if hit {
+                    let col = line.find(needle).map_or(1, |p| p + 1);
+                    out.push(
+                        ctx.error(
+                            NAME,
+                            line_no,
+                            col,
+                            format!("`{needle}` in a deterministic crate: {what}"),
+                        )
+                        .with_note((*fix).to_string()),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! `panic-in-lib` — panicking calls in library code.
+//!
+//! A production sketch service must degrade, not die: `unwrap()` on a
+//! merge of incompatible parameters takes the whole shard down, where a
+//! `Result` would fail one request. Library crates therefore return
+//! errors; the *documented* escape hatch for genuinely unreachable
+//! states is `expect("invariant: …")` — the message prefix is the
+//! machine-checked marker that someone wrote down *why* the state is
+//! impossible, not just that they hoped it was. Bare `unwrap()`,
+//! undocumented `expect()`, and `panic!`/`unreachable!`/`todo!`/
+//! `unimplemented!` are flagged. Binary sources (`src/main.rs`,
+//! `src/bin/**`) and the crates in `allow_crates` (CLI, bench drivers)
+//! are exempt: a process entry point is allowed to die loudly.
+
+use super::{FileCtx, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub struct PanicInLib;
+
+const NAME: &str = "panic-in-lib";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for PanicInLib {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap/undocumented expect/panic! in library code (use Result or `expect(\"invariant: …\")`)"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.is_bin {
+            return;
+        }
+        let allow_crates = ctx.list_opt(NAME, "allow_crates", &[]);
+        if allow_crates.iter().any(|c| c == ctx.crate_name) {
+            return;
+        }
+        let prefix = ctx.str_opt(NAME, "invariant_prefix", "invariant: ");
+        let text = &ctx.src.text;
+        // Code tokens only (comments/whitespace out), indexed neighbors.
+        let code: Vec<&crate::lexer::Token> = ctx
+            .src
+            .tokens
+            .iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect();
+        for (i, t) in code.iter().enumerate() {
+            if t.kind != TokenKind::Ident || ctx.src.is_test_line(t.line) {
+                continue;
+            }
+            let name = t.text(text);
+            let prev_is_dot = i > 0 && code[i - 1].text(text) == ".";
+            let next = |k: usize| code.get(i + k).map(|n| n.text(text));
+            match name {
+                "unwrap" if prev_is_dot && next(1) == Some("(") => {
+                    out.push(
+                        ctx.error(NAME, t.line, t.col, "`unwrap()` in library code".to_string())
+                            .with_note(format!(
+                                "return a Result, or use `expect(\"{prefix}…\")` documenting why \
+                             this cannot fail"
+                            )),
+                    );
+                }
+                "expect" if prev_is_dot && next(1) == Some("(") => {
+                    let msg_tok = code.get(i + 2);
+                    let documented = msg_tok.is_some_and(|m| {
+                        m.kind == TokenKind::Str
+                            && m.text(text).trim_start_matches('"').starts_with(prefix.as_str())
+                    });
+                    if !documented {
+                        out.push(
+                            ctx.error(
+                                NAME,
+                                t.line,
+                                t.col,
+                                "`expect()` without a documented invariant".to_string(),
+                            )
+                            .with_note(format!(
+                                "prefix the message with `{prefix}` and state why the value \
+                                 is always present, or return a Result"
+                            )),
+                        );
+                    }
+                }
+                _ if PANIC_MACROS.contains(&name) && !prev_is_dot && next(1) == Some("!") => {
+                    out.push(
+                        ctx.error(NAME, t.line, t.col, format!("`{name}!` in library code"))
+                            .with_note(
+                                "library crates surface failures as Result so callers choose \
+                                 the blast radius"
+                                    .to_string(),
+                            ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

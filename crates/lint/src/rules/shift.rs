@@ -1,0 +1,144 @@
+//! `shift-overflow-hazard` — variable-amount shifts without a visible
+//! bound.
+//!
+//! The sketch's registers live and die by `1 << p`, `counter << r`,
+//! `word >> offset`-shaped expressions (Algorithms 1–6 all slice bit
+//! fields). A shift amount that can reach the operand width is *not* a
+//! crash in release builds — it wraps or produces an unspecified value
+//! and silently corrupts every estimate downstream, the exact failure
+//! class safe reimplementations of these sketches exist to kill. This
+//! rule demands that every variable shift amount has a *visible* bound:
+//! a literal, an assert/branch naming the amount within the enclosing
+//! lines, a `% w` / `.min(w)` reduction, a `checked_`/`wrapping_` shift,
+//! or a call whose contract bounds its result (`params.r()` et al. —
+//! the configured `bounded_calls`).
+
+use super::{balanced_group, guarded_within, idents_in, FileCtx, Rule};
+use crate::diag::Diagnostic;
+
+pub struct ShiftOverflowHazard;
+
+const NAME: &str = "shift-overflow-hazard";
+
+impl Rule for ShiftOverflowHazard {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn describe(&self) -> &'static str {
+        "variable shift amount with no visible bound (mask, assert, branch or bounded call)"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let bounded = ctx.list_opt(NAME, "bounded_calls", &[]);
+        let window = ctx.int_opt(NAME, "guard_window", 10).max(0) as usize;
+        for (line_no, line) in ctx.code_lines() {
+            let mut at = 0usize;
+            while let Some(rel) = find_shift(&line[at..]) {
+                let pos = at + rel;
+                at = pos + 2;
+                let Some(rhs) = shift_rhs(line, pos + 2) else { continue };
+                let idents = idents_in(rhs);
+                if idents.is_empty() {
+                    continue; // literal amount — the compiler checks it
+                }
+                if is_self_bounding(rhs, &bounded) {
+                    continue;
+                }
+                if guarded_within(ctx.src, line_no, window, &idents, &bounded) {
+                    continue;
+                }
+                out.push(
+                    ctx.error(
+                        NAME,
+                        line_no,
+                        pos + 1,
+                        format!("variable shift amount `{}` has no visible bound", rhs.trim()),
+                    )
+                    .with_note(
+                        "an out-of-range shift wraps silently in release builds, corrupting \
+                         register values; bound it (assert / % / .min) or use checked_shl/shr"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Find the next `<<` or `>>` that is an operator, not a generics
+/// closer. Returns the byte offset of the first character.
+///
+/// Two disambiguators against generics: runs of three or more angles
+/// (`Box<Vec<u64>>>`-shaped) are never shifts, and a shift operator in
+/// rustfmt-formatted code is always preceded by whitespace (`a << b`,
+/// or the operator leading a wrapped continuation line), while generic
+/// closers hug the preceding type (`IntoIterator<Item = T>>(`).
+fn find_shift(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        if two == b"<<" || two == b">>" {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] == bytes[i] {
+                j += 1;
+            }
+            let spaced_before = i == 0 || bytes[i - 1].is_ascii_whitespace();
+            if j == i + 2 && spaced_before {
+                return Some(i);
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extract the shift-amount expression starting at `from` (just past
+/// the operator). `None` when this is not actually a shift (generics
+/// artifacts, closing delimiters).
+fn shift_rhs(line: &str, mut from: usize) -> Option<&str> {
+    let bytes = line.as_bytes();
+    if bytes.get(from) == Some(&b'=') {
+        from += 1; // `<<=`
+    }
+    while bytes.get(from) == Some(&b' ') {
+        from += 1;
+    }
+    match bytes.get(from)? {
+        b'(' => {
+            let inner = balanced_group(line, from)?;
+            Some(inner)
+        }
+        b'{' | b',' | b';' | b')' | b']' | b'>' | b'<' | b'=' | b'&' | b'|' => None,
+        _ => {
+            // A primary expression: path segments, field accesses, calls
+            // and index groups, e.g. `self.params.r()` or `attempt.min(16)`.
+            let start = from;
+            let mut i = from;
+            while i < bytes.len() {
+                let b = bytes[i];
+                if b == b'_' || b.is_ascii_alphanumeric() || b == b'.' || b == b':' {
+                    i += 1;
+                } else if b == b'(' {
+                    let group = balanced_group(line, i)?;
+                    i += group.len() + 2;
+                } else {
+                    break;
+                }
+            }
+            (i > start).then(|| &line[start..i])
+        }
+    }
+}
+
+/// Is the amount expression bounded on its face?
+fn is_self_bounding(rhs: &str, bounded_calls: &[String]) -> bool {
+    rhs.contains('%')
+        || rhs.contains(".min(")
+        || rhs.contains("checked_sh")
+        || rhs.contains("wrapping_sh")
+        || bounded_calls.iter().any(|c| rhs.contains(c.as_str()))
+}

@@ -1,0 +1,297 @@
+//! Per-file source model the rules run against.
+//!
+//! From the raw text and its token stream this builds:
+//!
+//! * **scrubbed lines** — the source with every comment, string and char
+//!   literal blanked to spaces (newlines preserved), so text-level rule
+//!   scans can never fire inside a literal or a doc example;
+//! * **test-region map** — which lines sit inside `#[cfg(test)]` items or
+//!   `#[test]` functions (rules skip them: tests may `unwrap`, compare
+//!   floats, and use `HashMap` freely);
+//! * **suppressions** — parsed `// hmh-lint: allow(rule) — reason`
+//!   comments, each tied to the code line it governs. A suppression
+//!   without a written reason is itself a diagnostic; the acceptance bar
+//!   for silencing the linter is an argument, not a flag.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A parsed inline suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules it silences.
+    pub rules: Vec<String>,
+    /// The justification text after the separator (may be empty — the
+    /// engine turns that into a `bad-suppression` diagnostic).
+    pub reason: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// 1-based code line the suppression governs (same line for trailing
+    /// comments, the next code line for standalone ones).
+    pub applies_to: usize,
+}
+
+/// A malformed `hmh-lint:` comment (bad syntax — cannot be honored).
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    pub line: usize,
+    pub what: String,
+}
+
+/// One lexed and indexed source file.
+pub struct SourceFile {
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Scrubbed text split into lines (no trailing newlines).
+    pub lines: Vec<String>,
+    /// `test_lines[i]` — is 1-based line `i + 1` inside test-only code?
+    pub test_lines: Vec<bool>,
+    pub suppressions: Vec<Suppression>,
+    pub bad_suppressions: Vec<BadSuppression>,
+}
+
+impl SourceFile {
+    pub fn parse(text: &str) -> Self {
+        let tokens = lex(text);
+        let lines = scrub(text, &tokens);
+        let test_lines = mark_test_lines(text, &tokens, lines.len());
+        let (suppressions, bad_suppressions) = parse_suppressions(text, &tokens);
+        Self { text: text.to_string(), tokens, lines, test_lines, suppressions, bad_suppressions }
+    }
+
+    /// Scrubbed text of 1-based line `n` (empty if out of range).
+    pub fn line(&self, n: usize) -> &str {
+        if n == 0 {
+            return "";
+        }
+        self.lines.get(n - 1).map_or("", String::as_str)
+    }
+
+    /// Is 1-based line `n` inside test-only code?
+    pub fn is_test_line(&self, n: usize) -> bool {
+        n > 0 && self.test_lines.get(n - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Blank comment/string/char token bodies to spaces, preserving layout.
+fn scrub(text: &str, tokens: &[Token]) -> Vec<String> {
+    let mut out = String::with_capacity(text.len());
+    for t in tokens {
+        let body = t.text(text);
+        match t.kind {
+            TokenKind::LineComment
+            | TokenKind::BlockComment
+            | TokenKind::Str
+            | TokenKind::RawStr
+            | TokenKind::ByteStr
+            | TokenKind::RawByteStr
+            | TokenKind::Char
+            | TokenKind::Byte => {
+                for c in body.chars() {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            _ => out.push_str(body),
+        }
+    }
+    out.split('\n').map(str::to_string).collect()
+}
+
+/// Mark lines covered by `#[cfg(test)]` / `#[test]` items.
+fn mark_test_lines(text: &str, tokens: &[Token], line_count: usize) -> Vec<bool> {
+    let mut marked = vec![false; line_count];
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let mut i = 0;
+    while i < code.len() {
+        if let Some((attr_end, is_test)) = parse_attr(text, &code, i) {
+            if is_test {
+                let item_end = end_of_item(text, &code, attr_end);
+                let from = code[i].line;
+                let to = code.get(item_end.saturating_sub(1)).map_or(from, |t| t.line);
+                for l in from..=to.min(line_count) {
+                    marked[l - 1] = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    marked
+}
+
+/// If `code[i]` starts an attribute `#[…]`, return (index one past the
+/// closing `]`, whether it is a test marker). Test markers: `#[test]`,
+/// any `#[cfg(… test …)]` (covers `cfg(test)`, `cfg(all(test, …))`).
+fn parse_attr(text: &str, code: &[&Token], i: usize) -> Option<(usize, bool)> {
+    if code[i].text(text) != "#" {
+        return None;
+    }
+    let mut j = i + 1;
+    // Inner attributes `#![…]` never gate an item as test code here.
+    let inner = code.get(j).is_some_and(|t| t.text(text) == "!");
+    if inner {
+        j += 1;
+    }
+    if code.get(j).is_some_and(|t| t.text(text) == "[") {
+        let mut depth = 0usize;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        let mut first_ident: Option<String> = None;
+        while j < code.len() {
+            let t = code[j].text(text);
+            match t {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let bare_test = first_ident.as_deref() == Some("test");
+                        return Some((j + 1, !inner && (bare_test || (saw_cfg && saw_test))));
+                    }
+                }
+                _ => {
+                    if code[j].kind == TokenKind::Ident {
+                        if first_ident.is_none() {
+                            first_ident = Some(t.to_string());
+                        }
+                        if t == "cfg" {
+                            saw_cfg = true;
+                        }
+                        if t == "test" {
+                            saw_test = true;
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// Index one past the end of the item following an attribute: skips any
+/// further stacked attributes, then runs to the matching `}` of the
+/// item's first brace block, or to the first `;` for block-less items.
+fn end_of_item(text: &str, code: &[&Token], mut i: usize) -> usize {
+    // Additional attributes stacked on the same item: `#[…] #[…] fn …`.
+    while code.get(i).is_some_and(|t| t.text(text) == "#") {
+        let mut depth = 0usize;
+        i += 1; // past `#`
+        while let Some(t) = code.get(i) {
+            match t.text(text) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut brace_depth = 0usize;
+    let mut entered = false;
+    while let Some(t) = code.get(i) {
+        i += 1;
+        match t.text(text) {
+            "{" => {
+                brace_depth += 1;
+                entered = true;
+            }
+            "}" => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    return i;
+                }
+            }
+            ";" if !entered => return i,
+            _ => {}
+        }
+    }
+    i
+}
+
+/// Parse every `hmh-lint:` comment in the token stream.
+fn parse_suppressions(text: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text(text);
+        // Doc comments (`///`, `//!`) describe the syntax; only plain
+        // `//` comments can carry a live suppression.
+        if body.starts_with("///") || body.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = body.find("hmh-lint:") else { continue };
+        let rest = body[at + "hmh-lint:".len()..].trim_start();
+        let Some(open) = rest.strip_prefix("allow(") else {
+            bad.push(BadSuppression {
+                line: t.line,
+                what: "expected `allow(<rule>[, <rule>…])` after `hmh-lint:`".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            bad.push(BadSuppression {
+                line: t.line,
+                what: "unclosed `allow(` in suppression".to_string(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = open[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad.push(BadSuppression {
+                line: t.line,
+                what: "suppression names no rules".to_string(),
+            });
+            continue;
+        }
+        let reason = open[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+            .trim()
+            .to_string();
+        // Trailing comment (code earlier on the line) governs its own
+        // line; a standalone comment governs the next code line.
+        let has_code_before =
+            tokens[..idx].iter().rev().take_while(|p| p.line == t.line).any(|p| {
+                !matches!(
+                    p.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            });
+        let applies_to = if has_code_before {
+            t.line
+        } else {
+            tokens[idx + 1..]
+                .iter()
+                .find(|n| {
+                    !matches!(
+                        n.kind,
+                        TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                    )
+                })
+                .map_or(t.line, |n| n.line)
+        };
+        good.push(Suppression { rules, reason, comment_line: t.line, applies_to });
+    }
+    (good, bad)
+}

@@ -1,0 +1,6 @@
+//! Fixture: `truncating-cast` must fire — `word` keeps only its low 32
+//! bits with nothing bounding it.
+
+pub fn to_register(word: u64) -> u32 {
+    word as u32
+}

@@ -1,0 +1,19 @@
+//! Fixture: `truncating-cast` must stay silent — masked operand,
+//! bounded call, post-cast mask, and an assert within the guard window.
+
+pub fn masked(word: u64) -> u32 {
+    (word & 0xffff_ffff) as u32
+}
+
+pub fn sliced(digest: &Digest128) -> u32 {
+    digest.take_bits(0, 6) as u32
+}
+
+pub fn masked_after(word: u64) -> u32 {
+    (word as u32) & 0x00ff_ffff
+}
+
+pub fn asserted(len: usize) -> u16 {
+    debug_assert!(len <= 65_535, "record length fits the wire field");
+    len as u16
+}

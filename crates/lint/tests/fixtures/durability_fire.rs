@@ -1,0 +1,13 @@
+//! Fixture: `durability` must fire — a bare whole-file write and a
+//! rename with no fsync anywhere in the same function.
+
+use std::fs;
+use std::path::Path;
+
+pub fn save(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    fs::write(path, data)
+}
+
+pub fn publish(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, dst)
+}

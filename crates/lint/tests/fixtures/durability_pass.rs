@@ -1,0 +1,13 @@
+//! Fixture: `durability` must stay silent — the rename is preceded by
+//! `sync_all` on the temp file (write-temp → fsync → rename).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+pub fn save_durably(path: &Path, tmp: &Path, data: &[u8]) -> std::io::Result<()> {
+    let mut f = fs::File::create(tmp)?;
+    f.write_all(data)?;
+    f.sync_all()?;
+    fs::rename(tmp, path)
+}

@@ -1,0 +1,10 @@
+//! Fixture: `float-eq` must fire — exact comparison against a computed
+//! float literal, and a NAN comparison (always false).
+
+pub fn converged(estimate: f64) -> bool {
+    estimate == 0.25
+}
+
+pub fn is_invalid(x: f64) -> bool {
+    x == f64::NAN
+}

@@ -1,0 +1,18 @@
+//! Fixture: `float-eq` must stay silent — sentinel guards against the
+//! exactly-representable allow-list, and tolerance comparisons.
+
+pub fn is_empty_estimate(estimate: f64) -> bool {
+    estimate == 0.0
+}
+
+pub fn is_full(fraction: f64) -> bool {
+    fraction == 1.0
+}
+
+pub fn close_to(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn integer_eq(n: u64) -> bool {
+    n == 42
+}

@@ -1,0 +1,15 @@
+//! Fixture: `nondeterminism` must fire — wall clock and default-hasher
+//! map in a crate whose outputs must be byte-identical across runs.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn timed_histogram(items: &[u64]) -> HashMap<u64, usize> {
+    let start = Instant::now();
+    let mut counts = HashMap::new();
+    for item in items {
+        *counts.entry(*item).or_default() += 1;
+    }
+    let _ = start.elapsed();
+    counts
+}

@@ -1,0 +1,20 @@
+//! Fixture: `nondeterminism` must stay silent — ordered map, explicit
+//! seed, time taken as data.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(items: &[u64]) -> BTreeMap<u64, usize> {
+    let mut counts = BTreeMap::new();
+    for item in items {
+        *counts.entry(*item).or_default() += 1;
+    }
+    counts
+}
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn stamp(report: &mut Report, unix_millis: u64) {
+    report.generated_at = unix_millis;
+}

@@ -1,0 +1,14 @@
+//! Fixture: `panic-in-lib` must fire — bare unwrap, undocumented
+//! expect, and a panic macro in library code.
+
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+
+pub fn parse(a: &str) -> u32 {
+    a.parse().expect("parses")
+}
+
+pub fn later() -> u32 {
+    todo!("write this")
+}

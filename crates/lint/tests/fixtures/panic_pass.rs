@@ -1,0 +1,16 @@
+//! Fixture: `panic-in-lib` must stay silent — the expect message
+//! documents its invariant, and test code is exempt.
+
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().expect("invariant: caller guarantees non-empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        panic!("even this is allowed in a test");
+    }
+}

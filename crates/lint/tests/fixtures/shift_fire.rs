@@ -1,0 +1,5 @@
+//! Fixture: `shift-overflow-hazard` must fire — `p` has no visible bound.
+
+pub fn bucket_mask(p: u32) -> u64 {
+    (1u64 << p) - 1
+}

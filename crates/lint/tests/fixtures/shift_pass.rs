@@ -1,0 +1,19 @@
+//! Fixture: `shift-overflow-hazard` must stay silent — every variable
+//! amount is visibly bounded (assert, bounded call, `%` reduction).
+
+pub fn bucket_mask(p: u32) -> u64 {
+    assert!(p < 64, "p must fit a u64 shift");
+    (1u64 << p) - 1
+}
+
+pub fn low_word(word: u64, params: &Params) -> u64 {
+    word >> params.p()
+}
+
+pub fn rotated(x: u64, k: u32) -> u64 {
+    x << (k % 64)
+}
+
+pub fn literal_amount(x: u64) -> u64 {
+    x << 7
+}

@@ -1,0 +1,189 @@
+//! Lexer edge cases and a seeded round-trip property.
+//!
+//! The linter's claims are only as good as its lexer: if a string body
+//! leaks into the scrubbed view, rules fire inside doc examples; if a
+//! token is dropped, spans drift. The round-trip property (concatenated
+//! token texts reproduce the input byte-for-byte) is the losslessness
+//! contract, swept over seeded random token soup with the same
+//! deterministic-harness pattern as the workspace `tests/properties.rs`.
+
+use hmh_lint::lexer::{lex, TokenKind};
+use hmh_lint::source::SourceFile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Concatenating every token's text must reproduce the input exactly.
+fn assert_round_trip(src: &str) {
+    let tokens = lex(src);
+    let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src, "lexer dropped or duplicated bytes");
+}
+
+/// The scrubbed view must keep line structure and per-line byte length.
+fn assert_scrub_shape(src: &str) {
+    let file = SourceFile::parse(src);
+    let original: Vec<&str> = src.split('\n').collect();
+    assert_eq!(file.lines.len(), original.len(), "scrub changed the line count");
+    for (scrubbed, orig) in file.lines.iter().zip(&original) {
+        assert_eq!(scrubbed.len(), orig.len(), "scrub changed a line's length");
+    }
+}
+
+#[test]
+fn raw_strings_with_hash_guards() {
+    let src = r####"let a = r"plain raw";
+let b = r#"has "quotes" inside"#;
+let c = r##"ends with one guard: "# still going"##;
+let d = br#"raw bytes "too""#;
+"####;
+    assert_round_trip(src);
+    let file = SourceFile::parse(src);
+    // Nothing inside the raw strings survives scrubbing.
+    assert!(!file.lines.iter().any(|l| l.contains("quotes")));
+    assert!(!file.lines.iter().any(|l| l.contains("still going")));
+    let kinds: Vec<TokenKind> = lex(src).iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&TokenKind::RawStr));
+    assert!(kinds.contains(&TokenKind::RawByteStr));
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* outer /* inner */ still outer */ let x = 1;\n";
+    assert_round_trip(src);
+    let file = SourceFile::parse(src);
+    // The whole nested comment is one token; `still outer` is scrubbed,
+    // `let x = 1;` survives.
+    assert!(!file.lines[0].contains("still outer"));
+    assert!(file.lines[0].contains("let x = 1;"));
+    let comments = lex(src).iter().filter(|t| t.kind == TokenKind::BlockComment).count();
+    assert_eq!(comments, 1, "nested comment must lex as a single token");
+}
+
+#[test]
+fn char_literals_that_look_like_other_tokens() {
+    // A `"` inside a char must not open a string; a `/` inside a char
+    // must not open a comment.
+    let src = "let quote = '\"';\nlet slash = '/';\nlet escaped = '\\'';\nlet nl = '\\n';\n";
+    assert_round_trip(src);
+    let file = SourceFile::parse(src);
+    for line in &file.lines {
+        assert!(!line.contains('"'), "char-quoted `\"` leaked into scrubbed view");
+        assert!(!line.contains('/'), "char-quoted `/` leaked into scrubbed view");
+    }
+    let chars = lex(src).iter().filter(|t| t.kind == TokenKind::Char).count();
+    assert_eq!(chars, 4);
+}
+
+#[test]
+fn string_with_comment_markers_is_not_a_comment() {
+    let src = "let url = \"https://example.com\"; // real comment\nlet block = \"/* not a comment */\";\n";
+    assert_round_trip(src);
+    let file = SourceFile::parse(src);
+    assert!(!file.lines[0].contains("example.com"));
+    assert!(file.lines[0].contains("let url ="));
+    assert!(file.lines[1].contains("let block ="));
+    assert!(!file.lines[1].contains("not a comment"));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn first<'a>(xs: &'a [u32]) -> &'a u32 {\n    &xs[0]\n}\n";
+    assert_round_trip(src);
+    let tokens = lex(src);
+    assert!(tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
+    assert!(!tokens.iter().any(|t| t.kind == TokenKind::Char));
+}
+
+// -----------------------------------------------------------------
+// Seeded round-trip property (same pattern as tests/properties.rs).
+// -----------------------------------------------------------------
+
+const CASES: u64 = 64;
+
+/// Complete token fragments the generator samples from — each is
+/// individually well-formed, and any concatenation (joined by spaces or
+/// newlines) must still round-trip.
+const FRAGMENTS: &[&str] = &[
+    "ident",
+    "r#match",
+    "x1_y2",
+    "0xfe_ed",
+    "0b1010",
+    "1_000_000u64",
+    "3.25f32",
+    "2e-9",
+    "'c'",
+    "'\\n'",
+    "'\"'",
+    "'a",
+    "b'z'",
+    "\"string body\"",
+    "\"with \\\" escape\"",
+    "\"// not a comment\"",
+    "r#\"raw \"quoted\" body\"#",
+    "br\"raw bytes\"",
+    "b\"bytes\"",
+    "// line comment",
+    "/// doc comment",
+    "/* block */",
+    "/* nested /* deeper */ out */",
+    "<<",
+    ">>",
+    "::",
+    "->",
+    "=>",
+    "==",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "#",
+    "&",
+    "|",
+    "^",
+    "%",
+];
+
+#[test]
+fn seeded_token_soup_round_trips() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15 ^ case);
+        let len = rng.gen_range(1usize..60);
+        let mut src = String::new();
+        for _ in 0..len {
+            src.push_str(FRAGMENTS[rng.gen_range(0usize..FRAGMENTS.len())]);
+            // Line comments swallow to end-of-line, so newline separators
+            // keep later fragments alive; spaces exercise adjacency.
+            src.push(if rng.gen_range(0u32..4) == 0 { '\n' } else { ' ' });
+        }
+        assert_round_trip(&src);
+        assert_scrub_shape(&src);
+    }
+}
+
+#[test]
+fn seeded_ascii_noise_round_trips() {
+    // Arbitrary printable ASCII — including unterminated strings and
+    // stray quotes. The lexer must stay total and lossless on garbage:
+    // it scans the same bytes a hostile editor might save.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5bf0_3635 ^ case);
+        let len = rng.gen_range(0usize..200);
+        let src: String = (0..len)
+            .map(|_| {
+                let c = rng.gen_range(0x20u8..0x7f);
+                if rng.gen_range(0u32..12) == 0 {
+                    '\n'
+                } else {
+                    c as char
+                }
+            })
+            .collect();
+        assert_round_trip(&src);
+        assert_scrub_shape(&src);
+    }
+}

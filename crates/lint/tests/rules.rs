@@ -1,0 +1,248 @@
+//! Fixture tests: every rule has at least one firing and one passing
+//! fixture, plus the suppression machinery's full contract.
+
+use hmh_lint::{lint_text, Config, Severity};
+
+/// Self-contained config mirroring the workspace `Lint.toml` semantics.
+const CONFIG: &str = r#"
+[rules.shift-overflow-hazard]
+guard_window = 10
+bounded_calls = [".p()", ".take_bits("]
+
+[rules.truncating-cast]
+crates = ["core"]
+guard_window = 10
+widths = ["u8", "u16", "u32"]
+bounded_calls = [".p()", ".take_bits("]
+
+[rules.panic-in-lib]
+allow_crates = ["cli"]
+invariant_prefix = "invariant: "
+
+[rules.float-eq]
+crates = ["core"]
+allow_literals = ["0.0", "1.0", "-1.0"]
+
+[rules.nondeterminism]
+crates = ["simulate"]
+
+[rules.durability]
+crates = ["store"]
+sync_window = 12
+"#;
+
+fn config() -> Config {
+    Config::parse(CONFIG).expect("test config parses")
+}
+
+/// Lint fixture `text` as a lib file of `crate_name`, returning the
+/// rule names that fired.
+fn fired(crate_name: &str, text: &str) -> Vec<String> {
+    lint_text(crate_name, "crates/test/src/lib.rs", false, text, &config())
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+fn count_rule(findings: &[String], rule: &str) -> usize {
+    findings.iter().filter(|r| r.as_str() == rule).count()
+}
+
+// -----------------------------------------------------------------
+// shift-overflow-hazard
+// -----------------------------------------------------------------
+
+#[test]
+fn shift_fires_on_unbounded_amount() {
+    let f = fired("core", include_str!("fixtures/shift_fire.rs"));
+    assert_eq!(count_rule(&f, "shift-overflow-hazard"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn shift_passes_when_bounded() {
+    let f = fired("core", include_str!("fixtures/shift_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+#[test]
+fn shift_ignores_generics_closers() {
+    let src = "pub fn collect<I: IntoIterator<Item = u64>>(items: I) -> Vec<u64> {\n    items.into_iter().collect()\n}\n";
+    let f = fired("core", src);
+    assert!(f.is_empty(), "generics `>>` is not a shift: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// truncating-cast
+// -----------------------------------------------------------------
+
+#[test]
+fn cast_fires_on_unbounded_operand() {
+    let f = fired("core", include_str!("fixtures/cast_fire.rs"));
+    assert_eq!(count_rule(&f, "truncating-cast"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn cast_passes_when_masked_or_bounded() {
+    let f = fired("core", include_str!("fixtures/cast_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+#[test]
+fn cast_is_scoped_to_configured_crates() {
+    let f = fired("math", include_str!("fixtures/cast_fire.rs"));
+    assert_eq!(count_rule(&f, "truncating-cast"), 0, "math is out of scope: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// panic-in-lib
+// -----------------------------------------------------------------
+
+#[test]
+fn panic_fires_on_unwrap_expect_and_macros() {
+    let f = fired("core", include_str!("fixtures/panic_fire.rs"));
+    assert_eq!(count_rule(&f, "panic-in-lib"), 3, "findings: {f:?}");
+}
+
+#[test]
+fn panic_passes_documented_invariants_and_tests() {
+    let f = fired("core", include_str!("fixtures/panic_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+#[test]
+fn panic_exempts_binaries_and_allowed_crates() {
+    let text = include_str!("fixtures/panic_fire.rs");
+    let in_bin = lint_text("core", "crates/core/src/main.rs", true, text, &config());
+    assert!(in_bin.is_empty(), "binaries may die loudly: {in_bin:?}");
+    let in_cli = fired("cli", text);
+    assert_eq!(count_rule(&in_cli, "panic-in-lib"), 0, "cli is allowlisted: {in_cli:?}");
+}
+
+// -----------------------------------------------------------------
+// float-eq
+// -----------------------------------------------------------------
+
+#[test]
+fn float_fires_on_literal_and_nan_comparisons() {
+    let f = fired("core", include_str!("fixtures/float_fire.rs"));
+    assert_eq!(count_rule(&f, "float-eq"), 2, "findings: {f:?}");
+}
+
+#[test]
+fn float_passes_sentinels_and_tolerances() {
+    let f = fired("core", include_str!("fixtures/float_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// nondeterminism
+// -----------------------------------------------------------------
+
+#[test]
+fn nondet_fires_on_clock_and_hashmap() {
+    let f = fired("simulate", include_str!("fixtures/nondet_fire.rs"));
+    assert!(count_rule(&f, "nondeterminism") >= 2, "findings: {f:?}");
+}
+
+#[test]
+fn nondet_passes_ordered_and_seeded_code() {
+    let f = fired("simulate", include_str!("fixtures/nondet_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// durability
+// -----------------------------------------------------------------
+
+#[test]
+fn durability_fires_on_bare_write_and_rename() {
+    let f = fired("store", include_str!("fixtures/durability_fire.rs"));
+    assert_eq!(count_rule(&f, "durability"), 2, "findings: {f:?}");
+}
+
+#[test]
+fn durability_passes_fsync_before_rename() {
+    let f = fired("store", include_str!("fixtures/durability_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// suppressions
+// -----------------------------------------------------------------
+
+const SHIFT_HAZARD: &str = "pub fn mask(p: u32) -> u64 {\n    (1u64 << p) - 1\n}\n";
+
+#[test]
+fn reasoned_suppression_silences_the_finding() {
+    let src = SHIFT_HAZARD.replace(
+        "(1u64 << p) - 1",
+        "(1u64 << p) - 1 // hmh-lint: allow(shift-overflow-hazard) — p ≤ 24 by construction",
+    );
+    let f = fired("core", &src);
+    assert!(f.is_empty(), "expected silenced, got: {f:?}");
+}
+
+#[test]
+fn standalone_suppression_governs_next_code_line() {
+    let src = SHIFT_HAZARD.replace(
+        "    (1u64 << p) - 1",
+        "    // hmh-lint: allow(shift-overflow-hazard) — p ≤ 24 by construction\n    (1u64 << p) - 1",
+    );
+    let f = fired("core", &src);
+    assert!(f.is_empty(), "expected silenced, got: {f:?}");
+}
+
+#[test]
+fn reasonless_suppression_keeps_finding_and_reports_itself() {
+    let src = SHIFT_HAZARD
+        .replace("(1u64 << p) - 1", "(1u64 << p) - 1 // hmh-lint: allow(shift-overflow-hazard)");
+    let f = fired("core", &src);
+    assert_eq!(count_rule(&f, "shift-overflow-hazard"), 1, "finding stands: {f:?}");
+    assert_eq!(count_rule(&f, "bad-suppression"), 1, "reasonless is an error: {f:?}");
+}
+
+#[test]
+fn unknown_rule_suppression_is_an_error() {
+    let src = SHIFT_HAZARD
+        .replace("(1u64 << p) - 1", "(1u64 << p) - 1 // hmh-lint: allow(no-such-rule) — because");
+    let f = fired("core", &src);
+    assert_eq!(count_rule(&f, "shift-overflow-hazard"), 1, "finding stands: {f:?}");
+    assert_eq!(count_rule(&f, "bad-suppression"), 1, "unknown rule is an error: {f:?}");
+}
+
+#[test]
+fn unused_suppression_is_a_warning() {
+    let src = "// hmh-lint: allow(float-eq) — stale justification\npub fn id(x: u64) -> u64 {\n    x\n}\n";
+    let diags = lint_text("core", "crates/test/src/lib.rs", false, src, &config());
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert_eq!(diags[0].rule, "unused-suppression");
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn malformed_suppression_is_an_error() {
+    let src = "// hmh-lint: disallow(float-eq)\npub fn id(x: u64) -> u64 {\n    x\n}\n";
+    let f = fired("core", src);
+    assert_eq!(count_rule(&f, "bad-suppression"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn doc_comments_describing_the_syntax_are_inert() {
+    let src = "//! Suppress with `// hmh-lint: allow(rule) — reason`.\npub fn id(x: u64) -> u64 {\n    x\n}\n";
+    let f = fired("core", src);
+    assert!(f.is_empty(), "doc text is not a live suppression: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// diagnostics carry real spans
+// -----------------------------------------------------------------
+
+#[test]
+fn findings_point_at_file_line_col() {
+    let diags = lint_text("core", "crates/core/src/x.rs", false, SHIFT_HAZARD, &config());
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].file, "crates/core/src/x.rs");
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].col > 1, "column should point inside the line");
+    assert_eq!(diags[0].severity, Severity::Error);
+}

@@ -140,6 +140,7 @@ pub const BINOMIAL_NORMAL_VAR: f64 = 25.0;
 /// recursive `Binomial(·, 1/2)` halving. Returns exactly `2^levels` counts
 /// summing to `n`.
 pub fn multinomial_pow2<R: Rng + ?Sized>(n: f64, levels: u32, rng: &mut R) -> Vec<f64> {
+    assert!(levels < 32, "2^levels counts must be allocatable (levels = {levels})");
     let mut counts = vec![0.0f64; 1 << levels];
     counts[0] = n;
     let mut width = 1usize;
@@ -194,7 +195,9 @@ impl ZipfSampler {
     /// Draw one rank in `1..=n` (rank 1 is the most frequent).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+        match self.cdf.binary_search_by(|c| {
+            c.partial_cmp(&u).expect("invariant: CDF entries are finite, never NaN")
+        }) {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }

@@ -80,7 +80,9 @@ pub fn nelder_mead_max<F: FnMut(&[f64]) -> f64>(
     }
 
     for _ in 0..max_iters {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN objective"));
+        simplex.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("invariant: objective values are finite, never NaN")
+        });
         let best = simplex[0].1;
         let worst = simplex[n].1;
         if (worst - best).abs() <= tol * (1.0 + best.abs()) {
@@ -130,7 +132,9 @@ pub fn nelder_mead_max<F: FnMut(&[f64]) -> f64>(
             }
         }
     }
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN objective"));
+    simplex.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).expect("invariant: objective values are finite, never NaN")
+    });
     let (x, fx) = simplex.swap_remove(0);
     (x, -fx)
 }

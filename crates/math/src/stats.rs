@@ -148,7 +148,9 @@ impl ErrorSummary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN errors"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b).expect("invariant: recorded errors are finite, never NaN")
+        });
         let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
         sorted[idx]
     }

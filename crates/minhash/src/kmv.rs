@@ -70,7 +70,8 @@ impl BottomK {
 
     /// Insert a raw hash value (used by the simulator).
     pub fn observe(&mut self, h: u64) {
-        if self.values.len() == self.k && h >= *self.values.last().expect("non-empty") {
+        let full = self.values.len() == self.k;
+        if full && h >= *self.values.last().expect("invariant: len == k ≥ 1") {
             return;
         }
         match self.values.binary_search(&h) {
@@ -91,7 +92,8 @@ impl BottomK {
         if self.values.len() < self.k {
             return self.values.len() as f64;
         }
-        let kth = *self.values.last().expect("full sketch") as f64 + 1.0;
+        let last = *self.values.last().expect("invariant: sketch is full (len == k ≥ 1)");
+        let kth = last as f64 + 1.0;
         (self.k as f64 - 1.0) / (kth / 2f64.powi(64))
     }
 

@@ -72,6 +72,7 @@ impl KPartitionMinHash {
 
     /// Number of partitions `2^p`.
     pub fn num_registers(&self) -> usize {
+        // hmh-lint: allow(shift-overflow-hazard) — p ∈ 1..=24 asserted by new
         1 << self.p
     }
 

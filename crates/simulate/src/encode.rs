@@ -28,6 +28,7 @@ pub fn encode_min(params: HmhParams, v: f64) -> (u32, u32) {
     // 1023 − exp_field. Subnormals (exp_field == 0) are astronomically
     // below any cap we allow and saturate.
     let rho = if exp_field == 0 { u32::MAX } else { (1023 - exp_field).max(1) as u32 };
+    debug_assert!(r <= 24, "HmhParams::new caps r at 24, so 52 - r cannot underflow");
     if rho < cap {
         // Top r bits of the 52-bit fraction are the bits after the
         // leading one.

@@ -83,6 +83,7 @@ impl Backend for FileBackend {
     }
 
     fn write_new(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        // hmh-lint: allow(durability) — Backend primitive; atomic_write composes it with fsync + rename
         fs::write(path, data)
     }
 
@@ -104,6 +105,7 @@ impl Backend for FileBackend {
     }
 
     fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        // hmh-lint: allow(durability) — Backend primitive; callers fsync the source first (atomic_write discipline), and sync_dir below persists the entry
         fs::rename(from, to)?;
         Self::sync_dir(to)
     }

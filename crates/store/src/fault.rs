@@ -295,6 +295,7 @@ impl<B: Backend> Backend for FaultyIo<B> {
 
     fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
         // Rename stays atomic: it either happens or errors cleanly.
+        // hmh-lint: allow(durability) — fault-injection wrapper forwarding to the inner backend, whose rename carries the fsync contract
         self.faulted_op(|b| b.rename(from, to))
     }
 

@@ -170,7 +170,9 @@ fn parse_at(buf: &[u8], pos: usize) -> Result<(Record, usize), Reject> {
         return Err(Reject::Incomplete);
     }
     let body_end = total - RECORD_TRAILER;
-    let digest = u64::from_le_bytes(rest[body_end..total].try_into().expect("8 bytes"));
+    let digest = u64::from_le_bytes(
+        rest[body_end..total].try_into().expect("invariant: trailer slice is 8 bytes"),
+    );
     if xxh64(&rest[..body_end], RECORD_SEED) != digest {
         return Err(Reject::Corrupt);
     }

@@ -1,13 +1,14 @@
 //! Exact set operations — the ground truth every estimate is scored
 //! against.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// An exact set of `u64` elements with the operations the sketches
-/// estimate.
+/// estimate. Backed by a `BTreeSet` so iteration order — and therefore
+/// everything derived from it — is deterministic across runs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExactSet {
-    items: HashSet<u64>,
+    items: BTreeSet<u64>,
 }
 
 impl ExactSet {
@@ -36,7 +37,7 @@ impl ExactSet {
         self.items.is_empty()
     }
 
-    /// Iterate over elements (arbitrary order).
+    /// Iterate over elements (ascending order).
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         self.items.iter().copied()
     }

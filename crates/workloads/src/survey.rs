@@ -62,9 +62,9 @@ impl Survey {
         let Some((first, rest)) = keys.split_first() else {
             return 0;
         };
-        let mut acc: std::collections::HashSet<u64> = self.group(first).iter().copied().collect();
+        let mut acc: std::collections::BTreeSet<u64> = self.group(first).iter().copied().collect();
         for key in rest {
-            let next: std::collections::HashSet<u64> = self.group(key).iter().copied().collect();
+            let next: std::collections::BTreeSet<u64> = self.group(key).iter().copied().collect();
             acc.retain(|id| next.contains(id));
         }
         acc.len()
@@ -72,7 +72,7 @@ impl Survey {
 
     /// Exact count of respondents in *any* of the given groups.
     pub fn exact_or(&self, keys: &[&str]) -> usize {
-        let mut acc: std::collections::HashSet<u64> = Default::default();
+        let mut acc: std::collections::BTreeSet<u64> = Default::default();
         for key in keys {
             acc.extend(self.group(key).iter().copied());
         }
