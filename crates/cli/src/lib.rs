@@ -74,7 +74,14 @@ commands:
             list              list stored sketches with estimates
             remove NAME       remove a sketch (durable tombstone)
             compact           rewrite the snapshot, reset the log
-            fsck              report on-disk health (salvage scan)
+            fsck [--json]     report on-disk health (salvage scan);
+                              exits 0 clean, 1 salvaged, 2 unrecoverable
+  serve   DIR [--addr A] [--workers N] [--queue-depth N]
+          serve the store at DIR over TCP (default 127.0.0.1:7700);
+          holds the store lock until a client sends shutdown
+  client  ADDR OP [ARG...]    talk to a running daemon; OP is one of
+            put NAME FILE / merge NAME FILE / get NAME OUT
+            card NAME / jaccard A B / list / health / shutdown
 ";
 
 /// Run the CLI with pre-split arguments (no program name), writing results
@@ -92,6 +99,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "intersect" => cmd_pairwise(rest, out, Pairwise::Intersect),
         "query" => cmd_query(rest, out),
         "store" => cmd_store(rest, out),
+        "serve" => cmd_serve(rest, out),
+        "client" => cmd_client(rest, out),
         "--help" | "-h" | "help" => {
             write_out(out, USAGE)?;
             Ok(())
@@ -340,8 +349,12 @@ fn cmd_store(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let [dir, op, rest @ ..] = args else {
         return Err(CliError::usage("store needs DIR and an operation\n(see `hmh help`)"));
     };
+    // fsck's contract reserves exit code 2 for "unrecoverable": a store
+    // that cannot even open (I/O failure, or another process — a daemon
+    // or CLI — holds the lock). Other ops use the generic failure code.
+    let open_code = if op == "fsck" { 2 } else { 1 };
     let mut store = hmh_store::SketchStore::open(dir)
-        .map_err(|e| CliError::runtime(format!("cannot open store {dir}: {e}")))?;
+        .map_err(|e| CliError { message: format!("cannot open store {dir}: {e}"), code: open_code })?;
     let opened = store.recovery_report().clone();
     match (op.as_str(), rest) {
         ("put", [name, file]) => {
@@ -385,25 +398,207 @@ fn cmd_store(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             store.compact().map_err(|e| CliError::runtime(format!("compact: {e}")))?;
             write_out(out, format!("{dir}: compacted to {} sketches\n", store.len()))
         }
-        ("fsck", []) => {
-            let now = store.fsck().map_err(|e| CliError::runtime(format!("fsck: {e}")))?;
-            write_out(
-                out,
-                format!(
-                    "{dir}: open recovered {} record(s), quarantined {} region(s), torn tail: {}\n\
-                     {dir}: on disk now: {} record(s), {} corrupt region(s), torn tail: {} — {}\n",
-                    opened.recovered,
-                    opened.quarantined,
-                    opened.truncated_tail,
-                    now.recovered,
-                    now.quarantined,
-                    now.truncated_tail,
-                    if now.is_clean() { "clean" } else { "DIRTY" },
-                ),
-            )
+        ("fsck", rest) => {
+            let json = match rest {
+                [] => false,
+                [flag] if flag == "--json" => true,
+                _ => return Err(CliError::usage("fsck takes at most --json")),
+            };
+            let now = store
+                .fsck()
+                .map_err(|e| CliError { message: format!("fsck: {e}"), code: 2 })?;
+            // "Salvaged" means recovery had to do work anywhere along the
+            // way: the open found damage (quarantine or a torn tail), or
+            // the disk is dirty right now.
+            let salvaged = !opened.is_clean() || !now.is_clean();
+            if json {
+                write_out(
+                    out,
+                    format!(
+                        "{{\"dir\":{},\"open\":{},\"disk\":{},\"status\":\"{}\"}}\n",
+                        json_string(dir),
+                        json_report(&opened),
+                        json_report(&now),
+                        if salvaged { "salvaged" } else { "clean" },
+                    ),
+                )?;
+            } else {
+                write_out(
+                    out,
+                    format!(
+                        "{dir}: open recovered {} record(s), quarantined {} region(s), torn tail: {}\n\
+                         {dir}: on disk now: {} record(s), {} corrupt region(s), torn tail: {} — {}\n",
+                        opened.recovered,
+                        opened.quarantined,
+                        opened.truncated_tail,
+                        now.recovered,
+                        now.quarantined,
+                        now.truncated_tail,
+                        if now.is_clean() { "clean" } else { "DIRTY" },
+                    ),
+                )?;
+            }
+            if salvaged {
+                // Report already written; the code tells scripts what
+                // happened: 1 = recovered with salvage work done.
+                return Err(CliError { message: format!("{dir}: salvage was needed"), code: 1 });
+            }
+            Ok(())
         }
         (op, _) => Err(CliError::usage(format!(
             "bad store operation {op:?} (or wrong arguments)\n(see `hmh help`)"
+        ))),
+    }
+}
+
+fn json_report(r: &hmh_store::RecoveryReport) -> String {
+    format!(
+        "{{\"recovered\":{},\"quarantined\":{},\"truncated_tail\":{}}}",
+        r.recovered, r.quarantined, r.truncated_tail
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let mut escaped = String::with_capacity(s.len() + 2);
+    escaped.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped.push('"');
+    escaped
+}
+
+fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [dir, rest @ ..] = args else {
+        return Err(CliError::usage("serve needs a store DIR"));
+    };
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut opts = hmh_serve::ServeOptions::default();
+    let need = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i).cloned().ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = need(rest, i, "--addr")?;
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = need(rest, i, "--workers")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--workers: {e}")))?;
+            }
+            "--queue-depth" => {
+                i += 1;
+                opts.queue_depth = need(rest, i, "--queue-depth")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--queue-depth: {e}")))?;
+            }
+            other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
+        }
+        i += 1;
+    }
+    let handle = hmh_serve::serve(dir, addr.as_str(), opts)
+        .map_err(|e| CliError::runtime(format!("serve: {e}")))?;
+    // The "listening on" line is the readiness signal scripts (and the
+    // chaos harness) wait for; flush so it lands before we block.
+    write_out(out, format!("listening on {}\n", handle.addr()))?;
+    out.flush().map_err(|e| CliError::runtime(format!("write failed: {e}")))?;
+    // Block until a client's SHUTDOWN drains the pool. No signal handler:
+    // std has none, and SIGKILL-robustness is the store's salvage scan's
+    // job, not the process's.
+    while !handle.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    handle.join();
+    // Best effort: whoever was reading our stdout may be long gone by
+    // now (`hmh serve | head -1`), and a vanished log pipe must not turn
+    // a clean drain into a failing exit status.
+    let _ = write_out(out, "shutdown complete\n");
+    Ok(())
+}
+
+fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use std::net::ToSocketAddrs;
+
+    let [addr, op, rest @ ..] = args else {
+        return Err(CliError::usage("client needs ADDR and an operation\n(see `hmh help`)"));
+    };
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| CliError::usage(format!("bad address {addr:?}: {e}")))?
+        .next()
+        .ok_or_else(|| CliError::usage(format!("address {addr:?} resolves to nothing")))?;
+    let mut client = hmh_serve::Client::connect(addr);
+    let fail = |op: &str, e: hmh_serve::ClientError| CliError::runtime(format!("{op}: {e}"));
+    match (op.as_str(), rest) {
+        ("put", [name, file]) => {
+            let sketch = load(file)?;
+            client.put(name, &sketch).map_err(|e| fail("put", e))?;
+            write_out(out, format!("{addr}: stored {name} ({})\n", sketch.params()))
+        }
+        ("merge", [name, file]) => {
+            let sketch = load(file)?;
+            client.merge(name, &sketch).map_err(|e| fail("merge", e))?;
+            write_out(out, format!("{addr}: merged into {name}\n"))
+        }
+        ("get", [name, output]) => {
+            let sketch = client.get(name).map_err(|e| fail("get", e))?;
+            save(output, &sketch)?;
+            write_out(
+                out,
+                format!("{output}: {} (estimate {:.0})\n", sketch.params(), sketch.cardinality()),
+            )
+        }
+        ("card", [name]) => {
+            let estimate = client.card(name).map_err(|e| fail("card", e))?;
+            write_out(out, format!("{name}: {estimate:.0}\n"))
+        }
+        ("jaccard", [a, b]) => {
+            let estimate = client.jaccard(a, b).map_err(|e| fail("jaccard", e))?;
+            write_out(out, format!("jaccard {estimate:.6}\n"))
+        }
+        ("list", []) => {
+            let names = client.list().map_err(|e| fail("list", e))?;
+            for name in &names {
+                write_out(out, format!("{name}\n"))?;
+            }
+            write_out(out, format!("{} sketches\n", names.len()))
+        }
+        ("health", []) => {
+            let h = client.health().map_err(|e| fail("health", e))?;
+            write_out(
+                out,
+                format!(
+                    "read_only: {}\nworkers: {}\nqueue: {}/{}\nactive: {}\nshed: {}\nserved: {}\n\
+                     sketches: {}\nstore_clean: {}\nquarantined: {}\ntruncated_tail: {}\n",
+                    h.read_only,
+                    h.workers,
+                    h.queue_depth,
+                    h.queue_capacity,
+                    h.active,
+                    h.shed,
+                    h.served,
+                    h.sketches,
+                    h.store_clean,
+                    h.quarantined,
+                    h.truncated_tail,
+                ),
+            )
+        }
+        ("shutdown", []) => {
+            client.shutdown().map_err(|e| fail("shutdown", e))?;
+            write_out(out, format!("{addr}: shutdown requested\n"))
+        }
+        (op, _) => Err(CliError::usage(format!(
+            "bad client operation {op:?} (or wrong arguments)\n(see `hmh help`)"
         ))),
     }
 }
@@ -579,6 +774,15 @@ mod tests {
         assert_eq!(run_to_string(&["store", &sdir]).unwrap_err().code, 2);
     }
 
+    /// Like [`run_to_string`] but keeps whatever was written even when
+    /// the command fails — fsck writes its report *and* exits non-zero.
+    fn run_capture(args: &[&str]) -> (Result<(), CliError>, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let result = run(&args, &mut buf);
+        (result, String::from_utf8(buf).expect("utf8 output"))
+    }
+
     #[test]
     fn store_fsck_reports_corruption_and_heals() {
         let dir = TempDir::new("store-fsck");
@@ -593,11 +797,113 @@ mod tests {
         bytes.extend_from_slice(b"\xde\xad garbage \xbe\xef");
         std::fs::write(&wal, bytes).unwrap();
 
-        let fsck = run_to_string(&["store", &sdir, "fsck"]).unwrap();
+        let (result, fsck) = run_capture(&["store", &sdir, "fsck"]);
+        assert_eq!(result.unwrap_err().code, 1, "salvage work done → exit 1");
         assert!(fsck.contains("quarantined 1 region(s)"), "{fsck}");
         assert!(fsck.contains("clean"), "auto-heal leaves disk clean: {fsck}");
         let list = run_to_string(&["store", &sdir, "list"]).unwrap();
         assert!(list.contains("daily"), "intact record survived: {list}");
+    }
+
+    #[test]
+    fn store_fsck_json_and_exit_code_contract() {
+        let dir = TempDir::new("fsck-json");
+        let a = build(&dir, "a", 0, 500);
+        let sdir = dir.path("sketchdb");
+        run_to_string(&["store", &sdir, "put", "daily", &a]).unwrap();
+
+        // Clean store: exit 0, status "clean", well-formed report JSON.
+        let json = run_to_string(&["store", &sdir, "fsck", "--json"]).unwrap();
+        assert!(json.contains("\"status\":\"clean\""), "{json}");
+        assert!(
+            json.contains("\"open\":{\"recovered\":"), "report objects present: {json}"
+        );
+
+        // Corrupt the WAL: exit 1 ("salvaged"), report still written.
+        let wal = std::path::Path::new(&sdir).join(hmh_store::WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(b"torn!");
+        std::fs::write(&wal, bytes).unwrap();
+        let (result, json) = run_capture(&["store", &sdir, "fsck", "--json"]);
+        assert_eq!(result.unwrap_err().code, 1);
+        assert!(json.contains("\"status\":\"salvaged\""), "{json}");
+
+        // A store that cannot open at all: exit 2 ("unrecoverable").
+        let (result, _) = run_capture(&["store", "/proc/definitely/not/a/dir", "fsck"]);
+        assert_eq!(result.unwrap_err().code, 2);
+
+        // Unknown flag is a usage error, not a silent fallback.
+        assert_eq!(run_to_string(&["store", &sdir, "fsck", "--frob"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn store_commands_fail_fast_when_locked() {
+        let dir = TempDir::new("locked");
+        let a = build(&dir, "a", 0, 500);
+        let sdir = dir.path("sketchdb");
+        run_to_string(&["store", &sdir, "put", "daily", &a]).unwrap();
+
+        // Simulate a concurrent writer (a daemon, say) holding the lock.
+        let _holder = hmh_store::SketchStore::open(&sdir).unwrap();
+        let err = run_to_string(&["store", &sdir, "list"]).unwrap_err();
+        assert!(err.message.contains("locked"), "clear message: {}", err.message);
+        assert!(
+            err.message.contains(&std::process::id().to_string()),
+            "names the holder: {}",
+            err.message
+        );
+        // fsck's contract maps "cannot open" to exit 2.
+        assert_eq!(run_to_string(&["store", &sdir, "fsck"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let dir = TempDir::new("serve");
+        let a = build(&dir, "a", 0, 20_000);
+        let b = build(&dir, "b", 10_000, 30_000);
+        let sdir = dir.path("servedb");
+
+        // Start the daemon in-process on an OS-assigned port.
+        let handle = hmh_serve::serve(
+            &sdir,
+            "127.0.0.1:0",
+            hmh_serve::ServeOptions { workers: 2, ..hmh_serve::ServeOptions::default() },
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        run_to_string(&["client", &addr, "put", "a", &a]).unwrap();
+        run_to_string(&["client", &addr, "merge", "union", &a]).unwrap();
+        run_to_string(&["client", &addr, "merge", "union", &b]).unwrap();
+
+        let card = run_to_string(&["client", &addr, "card", "union"]).unwrap();
+        let estimate: f64 = card.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((estimate / 30_000.0 - 1.0).abs() < 0.1, "{card}");
+
+        let j = run_to_string(&["client", &addr, "jaccard", "a", "union"]).unwrap();
+        let value: f64 = j.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((value - 2.0 / 3.0).abs() < 0.08, "{j}");
+
+        let restored = dir.path("restored.hmh");
+        run_to_string(&["client", &addr, "get", "a", &restored]).unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), std::fs::read(&a).unwrap());
+
+        let list = run_to_string(&["client", &addr, "list"]).unwrap();
+        assert!(list.contains("2 sketches"), "{list}");
+
+        let health = run_to_string(&["client", &addr, "health"]).unwrap();
+        assert!(health.contains("read_only: false"), "{health}");
+        assert!(health.contains("store_clean: true"), "{health}");
+
+        let missing = run_to_string(&["client", &addr, "card", "nope"]).unwrap_err();
+        assert!(missing.message.contains("nope"), "{missing:?}");
+        assert_eq!(run_to_string(&["client", &addr, "frob"]).unwrap_err().code, 2);
+        assert_eq!(run_to_string(&["client", "not an addr", "list"]).unwrap_err().code, 2);
+
+        run_to_string(&["client", &addr, "shutdown"]).unwrap();
+        handle.join();
+        // The daemon released the lock; direct store access works again.
+        assert!(run_to_string(&["store", &sdir, "list"]).unwrap().contains("2 sketches"));
     }
 
     #[test]

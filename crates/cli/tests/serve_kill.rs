@@ -1,0 +1,161 @@
+//! Process-level crash drill: a real `hmh serve` daemon, SIGKILLed with
+//! a PUT half-written into its socket, must leave a store the next open
+//! salvages — and the next daemon must steal the dead process's lock
+//! file and serve normally.
+//!
+//! This is the part of the chaos harness an in-process test cannot
+//! reach: `Child::kill()` is SIGKILL on Unix, so the daemon gets no
+//! destructors, no Drop-released lock, no flush — exactly the failure
+//! the store's recovery discipline exists for.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use hmh_core::format;
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_serve::proto::{encode_request, write_frame, Request};
+use hmh_serve::Client;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hmh-kill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Spawn `hmh serve DIR --addr 127.0.0.1:0` and wait for its readiness
+/// line ("listening on ADDR").
+fn spawn_daemon(store_dir: &str) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hmh"))
+        .args(["serve", store_dir, "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hmh serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines.next().expect("daemon prints a readiness line").expect("readable stdout");
+    let addr: SocketAddr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {first:?}"))
+        .parse()
+        .expect("parseable address");
+    (child, addr)
+}
+
+fn hmh(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hmh")).args(args).output().expect("run hmh")
+}
+
+fn sketch(lo: u64, hi: u64) -> HyperMinHash {
+    let params = HmhParams::new(8, 6, 6).unwrap();
+    HyperMinHash::from_items(params, lo..hi)
+}
+
+#[test]
+fn sigkill_mid_put_then_restart_salvages_and_steals_the_lock() {
+    let dir = TempDir::new("midput");
+    let store_dir = dir.path("db");
+
+    let (mut child, addr) = spawn_daemon(&store_dir);
+
+    // An acknowledged write the crash must not lose.
+    let durable = sketch(0, 5_000);
+    let mut client = Client::connect(addr);
+    client.put("durable", &durable).unwrap();
+
+    // Start a PUT but stop half-way through the frame, then SIGKILL the
+    // daemon while the worker is blocked mid-read. No destructors run:
+    // the lock file stays behind with a dead PID in it.
+    let body = encode_request(&Request::Put {
+        name: "torn".into(),
+        sketch: format::encode(&sketch(0, 3_000)),
+    });
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &body).unwrap();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(&framed[..framed.len() / 2]).unwrap();
+    conn.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // let a worker pick the read up
+
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap");
+    drop(conn);
+
+    // The dead daemon's lock file is still on disk...
+    let lock_path = std::path::Path::new(&store_dir).join(hmh_store::LOCK_FILE);
+    assert!(lock_path.exists(), "SIGKILL leaves the lock file behind");
+
+    // ...yet fsck opens the store (stealing the stale lock) and reports
+    // the contract: 0 clean or 1 salvaged — never 2 after a mere kill.
+    let out = hmh(&["store", &store_dir, "fsck", "--json"]);
+    let code = out.status.code().expect("exit code");
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(code == 0 || code == 1, "clean-or-salvaged after SIGKILL, got {code}: {report}");
+    assert!(
+        report.contains("\"status\":\"clean\"") || report.contains("\"status\":\"salvaged\""),
+        "{report}"
+    );
+
+    // A fresh daemon steals the stale lock too, and the acknowledged
+    // write is still there, bit-exact.
+    let (mut child2, addr2) = spawn_daemon(&store_dir);
+    let mut client2 = Client::connect(addr2);
+    assert_eq!(client2.get("durable").unwrap(), durable, "acknowledged write survived SIGKILL");
+    assert!(client2.get("torn").is_err(), "the half-sent PUT must not have been applied");
+
+    // Normal service continues: write, estimate, clean shutdown.
+    client2.merge("durable", &sketch(2_500, 7_500)).unwrap();
+    let estimate = client2.card("durable").unwrap();
+    assert!((estimate / 7_500.0 - 1.0).abs() < 0.15, "estimate after recovery: {estimate}");
+    client2.shutdown().unwrap();
+    let status = child2.wait().expect("daemon exits after protocol shutdown");
+    assert!(status.success(), "clean drain-then-exit: {status:?}");
+
+    // After a *clean* exit the lock is gone and the store is clean.
+    assert!(!lock_path.exists(), "orderly shutdown removes the lock");
+    assert_eq!(hmh(&["store", &store_dir, "fsck"]).status.code(), Some(0));
+}
+
+#[test]
+fn second_daemon_on_a_live_store_fails_fast() {
+    let dir = TempDir::new("second");
+    let store_dir = dir.path("db");
+    let (mut child, _addr) = spawn_daemon(&store_dir);
+
+    // While the first daemon lives, a second one must refuse to start —
+    // fast, with a message naming the holder.
+    let out = hmh(&["serve", &store_dir, "--addr", "127.0.0.1:0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("locked"), "names the conflict: {stderr}");
+    assert!(
+        stderr.contains(&child.id().to_string()),
+        "names the holder pid {}: {stderr}",
+        child.id()
+    );
+
+    // So must direct store access.
+    let out = hmh(&["store", &store_dir, "list"]);
+    assert!(!out.status.success());
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+}

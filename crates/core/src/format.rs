@@ -32,6 +32,21 @@ pub const MAGIC: [u8; 4] = *b"HMH1";
 /// Current format version.
 pub const VERSION: u8 = 1;
 
+/// Hard ceiling on an encoded sketch, derived from the parameter bounds
+/// `HmhParams::new` enforces (p ≤ 24, q + r ≤ 32): 2^24 buckets of at
+/// most 32 bits each, plus header and digest. Untrusted inputs larger
+/// than this are rejected *before* any length field is believed, so a
+/// hostile or corrupt length can never drive an unbounded allocation or
+/// read — in this decoder or in anything (store records, network frames)
+/// that carries encoded sketches.
+pub const MAX_ENCODED_LEN: usize = HEADER_LEN + (1 << 24) * 32 / 8 + DIGEST_LEN;
+
+/// Fixed header size (magic + version + p/q/r + algorithm + seed).
+pub const HEADER_LEN: usize = 17;
+
+/// Trailing xxHash64 digest size.
+pub const DIGEST_LEN: usize = 8;
+
 /// Errors from decoding a binary sketch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FormatError {
@@ -50,6 +65,14 @@ pub enum FormatError {
         /// Bytes available.
         got: usize,
     },
+    /// Input larger than any valid sketch ([`MAX_ENCODED_LEN`]) — a lying
+    /// length field upstream, not a sketch.
+    TooLarge {
+        /// Bytes presented.
+        got: usize,
+        /// The [`MAX_ENCODED_LEN`] ceiling.
+        max: usize,
+    },
     /// Trailing digest does not match the content.
     ChecksumMismatch,
     /// Payload failed structural validation (e.g. dirty padding bits).
@@ -65,6 +88,9 @@ impl std::fmt::Display for FormatError {
             Self::UnknownAlgorithm(a) => write!(f, "unknown oracle algorithm {a}"),
             Self::Truncated { expected, got } => {
                 write!(f, "truncated sketch: expected {expected} bytes, got {got}")
+            }
+            Self::TooLarge { got, max } => {
+                write!(f, "oversized sketch: {got} bytes exceeds the {max}-byte format ceiling")
             }
             Self::ChecksumMismatch => write!(f, "checksum mismatch (corrupt sketch)"),
             Self::CorruptPayload(msg) => write!(f, "corrupt payload: {msg}"),
@@ -122,7 +148,10 @@ pub fn encode(sketch: &HyperMinHash) -> Vec<u8> {
 
 /// Decode a sketch from the binary format.
 pub fn decode(bytes: &[u8]) -> Result<HyperMinHash, FormatError> {
-    const HEADER: usize = 17;
+    const HEADER: usize = HEADER_LEN;
+    if bytes.len() > MAX_ENCODED_LEN {
+        return Err(FormatError::TooLarge { got: bytes.len(), max: MAX_ENCODED_LEN });
+    }
     if bytes.len() < HEADER {
         return Err(FormatError::Truncated { expected: HEADER, got: bytes.len() });
     }
@@ -293,6 +322,65 @@ mod tests {
         // Leaf errors terminate the chain.
         assert!(source.source().is_none());
         assert!(FormatError::BadMagic.source().is_none());
+    }
+
+    #[test]
+    fn oversized_inputs_rejected_before_parsing() {
+        // A buffer over the format ceiling is refused up front with the
+        // typed error — no header parsing, no allocation proportional to
+        // the claimed size. (The buffer itself is allocated lazily-ish
+        // here; what matters is the decoder's gate fires first.)
+        let huge = vec![0u8; MAX_ENCODED_LEN + 1];
+        assert_eq!(
+            decode(&huge),
+            Err(FormatError::TooLarge { got: MAX_ENCODED_LEN + 1, max: MAX_ENCODED_LEN })
+        );
+        // The largest legal parameter set still fits under the ceiling.
+        let params = HmhParams::new(24, 6, 26);
+        if let Ok(p) = params {
+            let bits = (p.num_buckets() as u64) * u64::from(p.word_bits());
+            let expected = HEADER_LEN + bits.div_ceil(64) as usize * 8 + DIGEST_LEN;
+            assert!(expected <= MAX_ENCODED_LEN, "{expected} > {MAX_ENCODED_LEN}");
+        }
+    }
+
+    #[test]
+    fn adversarial_corpus_never_panics() {
+        // Hostile inputs from every class the decoder gates on: declared
+        // sizes that lie, headers that are garbage, truncations at every
+        // structural boundary. Every one must return a typed error (or
+        // decode cleanly for the pristine case) — never panic, never
+        // allocate past the ceiling.
+        let good = encode(&sketch());
+        let corpus: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![0x00],
+            b"HMH1".to_vec(),
+            b"HMH1\x01".to_vec(),
+            good[..HEADER_LEN].to_vec(),
+            good[..HEADER_LEN + 1].to_vec(),
+            good[..good.len() - DIGEST_LEN].to_vec(),
+            // Maximal parameter bytes with no body: claims a huge sketch.
+            {
+                let mut b = good[..HEADER_LEN].to_vec();
+                (b[5], b[6], b[7]) = (24, 6, 26);
+                b
+            },
+            // All 0xff after the magic: implausible params + lengths.
+            {
+                let mut b = good.clone();
+                for x in &mut b[4..] {
+                    *x = 0xff;
+                }
+                b
+            },
+            vec![0xff; 64],
+            vec![0x41; 1024],
+        ];
+        for (i, bytes) in corpus.iter().enumerate() {
+            assert!(decode(bytes).is_err(), "corpus[{i}] accepted");
+        }
+        assert!(decode(&good).is_ok());
     }
 
     #[test]

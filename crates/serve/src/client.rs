@@ -1,0 +1,337 @@
+//! Client for the `hmh-serve` daemon: one connection, typed errors, and
+//! budgeted jittered backoff on transient failures.
+//!
+//! The client reuses the store's [`RetryPolicy`] as its retry engine:
+//! connect failures, deadlines, resets, and BUSY sheds all map onto
+//! transient [`io::Error`]s and flow through the same jittered
+//! exponential backoff with a total-time budget. Every protocol
+//! operation is idempotent (PUT overwrites, MERGE folds a fixed
+//! payload, reads read), so retrying after an ambiguous failure is
+//! always safe.
+//!
+//! Failures the *server* reports deliberately — NOT_FOUND, READ_ONLY, a
+//! store error — are not retried: they would fail the same way again.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hmh_core::format::{self, FormatError};
+use hmh_core::HyperMinHash;
+use hmh_store::RetryPolicy;
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, ErrCode, FrameError, Health, Request,
+    Response, MAX_FRAME_LEN,
+};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-read deadline on the connection.
+    pub read_timeout: Duration,
+    /// Per-write deadline on the connection.
+    pub write_timeout: Duration,
+    /// Backoff policy for transient failures (connect errors, deadlines,
+    /// resets, and BUSY sheds).
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Why a client call failed, after retries.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server shed the connection under load and backoff ran out.
+    Busy,
+    /// The server is in read-only degradation; writes are refused.
+    ReadOnly,
+    /// No sketch with this name.
+    NotFound(String),
+    /// The server answered with a typed error.
+    Server {
+        /// Machine-readable error class from the wire.
+        code: ErrCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server's reply could not be parsed (version skew or a
+    /// corrupted stream).
+    BadReply(String),
+    /// A sketch payload failed to decode.
+    Format(FormatError),
+    /// Transport failure (connect, deadline, reset) after retries.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Busy => write!(f, "server is shedding load (busy); retries exhausted"),
+            ClientError::ReadOnly => write!(f, "server is read-only; write refused"),
+            ClientError::NotFound(name) => write!(f, "no sketch named {name:?}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::BadReply(detail) => write!(f, "unparseable server reply: {detail}"),
+            ClientError::Format(e) => write!(f, "sketch payload: {e}"),
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Format(e) => Some(e),
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for ClientError {
+    fn from(e: FormatError) -> Self {
+        ClientError::Format(e)
+    }
+}
+
+/// Marker wrapped in a transient [`io::Error`] so a BUSY shed rides the
+/// retry loop like any other transient failure, yet stays
+/// distinguishable from a real deadline once retries are exhausted.
+#[derive(Debug)]
+struct BusyMarker;
+
+impl std::fmt::Display for BusyMarker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server shed the connection (busy)")
+    }
+}
+
+impl std::error::Error for BusyMarker {}
+
+fn busy_error() -> io::Error {
+    io::Error::new(io::ErrorKind::WouldBlock, BusyMarker)
+}
+
+fn is_busy(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<BusyMarker>())
+}
+
+/// A connection to one daemon. Reconnects lazily after any transport
+/// error, so one `Client` value survives server restarts.
+pub struct Client {
+    addr: SocketAddr,
+    opts: ClientOptions,
+    conn: Option<TcpStream>,
+}
+
+impl Client {
+    /// Client for the daemon at `addr` with default options.
+    pub fn connect(addr: SocketAddr) -> Self {
+        Self::with_options(addr, ClientOptions::default())
+    }
+
+    /// Client with explicit options (tests shrink the deadlines and seed
+    /// the retry jitter).
+    pub fn with_options(addr: SocketAddr, opts: ClientOptions) -> Self {
+        Self { addr, opts, conn: None }
+    }
+
+    /// Store `sketch` under `name`, replacing any existing sketch.
+    pub fn put(&mut self, name: &str, sketch: &HyperMinHash) -> Result<(), ClientError> {
+        let request = Request::Put { name: name.to_string(), sketch: format::encode(sketch) };
+        match self.request(&request)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// Fetch the sketch stored under `name`.
+    pub fn get(&mut self, name: &str) -> Result<HyperMinHash, ClientError> {
+        match self.request(&Request::Get { name: name.to_string() })? {
+            Response::Sketch(bytes) => Ok(format::decode(&bytes)?),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// Fold `sketch` into the sketch stored under `name` (creates it if
+    /// absent).
+    pub fn merge(&mut self, name: &str, sketch: &HyperMinHash) -> Result<(), ClientError> {
+        let request = Request::Merge { name: name.to_string(), sketch: format::encode(sketch) };
+        match self.request(&request)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// Cardinality estimate of the sketch under `name`, computed
+    /// server-side.
+    pub fn card(&mut self, name: &str) -> Result<f64, ClientError> {
+        match self.request(&Request::Card { name: name.to_string() })? {
+            Response::Value(v) => Ok(v),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// Jaccard estimate between the sketches under `a` and `b`.
+    pub fn jaccard(&mut self, a: &str, b: &str) -> Result<f64, ClientError> {
+        let request = Request::Jaccard { a: a.to_string(), b: b.to_string() };
+        match self.request(&request)? {
+            Response::Value(v) => Ok(v),
+            other => Err(unexpected(other, a)),
+        }
+    }
+
+    /// Names of every stored sketch.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.request(&Request::List)? {
+            Response::Names(names) => Ok(names),
+            other => Err(unexpected(other, "")),
+        }
+    }
+
+    /// The server's health snapshot (queue depth, shed count, fsck
+    /// status, read-only flag).
+    pub fn health(&mut self) -> Result<Health, ClientError> {
+        match self.request(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            other => Err(unexpected(other, "")),
+        }
+    }
+
+    /// Ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, "")),
+        }
+    }
+
+    /// Send one request, retrying transient transport failures and BUSY
+    /// sheds under the configured backoff policy.
+    fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let body = encode_request(request);
+        // Clone per call: `run` consumes jitter state; cloning keeps each
+        // call's schedule starting from the policy's seed, deterministic
+        // under test.
+        let mut retry = self.opts.retry.clone();
+        let result = retry.run(|| self.exchange(&body));
+        match result {
+            Ok(frame) => self.interpret(&frame),
+            Err(e) if is_busy(&e) => Err(ClientError::Busy),
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// One wire exchange. Any failure drops the cached connection so the
+    /// next attempt reconnects from scratch — half-exchanged streams are
+    /// never reused.
+    fn exchange(&mut self, body: &[u8]) -> io::Result<Vec<u8>> {
+        let result = self.try_exchange(body);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn try_exchange(&mut self, body: &[u8]) -> io::Result<Vec<u8>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.opts.connect_timeout)?;
+            stream.set_read_timeout(Some(self.opts.read_timeout))?;
+            stream.set_write_timeout(Some(self.opts.write_timeout))?;
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(stream);
+        }
+        let conn = self.conn.as_mut().expect("invariant: connection established above");
+        write_frame(conn, body)?;
+        conn.flush()?;
+        match read_frame(conn, MAX_FRAME_LEN) {
+            Ok(Some(frame)) => {
+                // A BUSY shed is followed by a server-side close; map it
+                // to a transient error so the retry loop backs off.
+                if decode_response(&frame) == Ok(Response::Busy) {
+                    self.conn = None;
+                    return Err(busy_error());
+                }
+                Ok(frame)
+            }
+            // EOF before a reply: the server hung up (shed without a
+            // BUSY frame landing, or mid-restart). Transient.
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "server closed the connection before replying",
+            )),
+            Err(FrameError::Io(e)) => Err(e),
+            Err(FrameError::TooLarge { got, max }) => Err(io::Error::other(format!(
+                "server sent an oversized frame ({got} > {max} bytes)"
+            ))),
+        }
+    }
+
+    /// Map a decoded reply onto the typed result surface.
+    fn interpret(&mut self, frame: &[u8]) -> Result<Response, ClientError> {
+        match decode_response(frame) {
+            Ok(Response::ReadOnly) => Err(ClientError::ReadOnly),
+            Ok(Response::Err { code: ErrCode::NotFound, message }) => {
+                Err(ClientError::NotFound(extract_name(&message)))
+            }
+            Ok(Response::Err { code, message }) => Err(ClientError::Server { code, message }),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // An unparseable reply poisons the stream; reconnect next
+                // call rather than guessing at framing.
+                self.conn = None;
+                Err(ClientError::BadReply(e.to_string()))
+            }
+        }
+    }
+}
+
+/// Pull the sketch name back out of a NOT_FOUND message ("no sketch
+/// named \"x\"") — best effort; falls back to the whole message.
+fn extract_name(message: &str) -> String {
+    message.split('"').nth(1).map_or_else(|| message.to_string(), str::to_string)
+}
+
+fn unexpected(resp: Response, context: &str) -> ClientError {
+    ClientError::BadReply(format!("unexpected response variant for {context:?}: {resp:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_marker_survives_the_io_error_wrap() {
+        let e = busy_error();
+        assert!(is_busy(&e));
+        assert!(hmh_store::is_transient(&e), "busy must ride the retry loop");
+        assert!(!is_busy(&io::Error::new(io::ErrorKind::WouldBlock, "plain")));
+    }
+
+    #[test]
+    fn not_found_name_extraction() {
+        assert_eq!(extract_name("no sketch named \"events\""), "events");
+        assert_eq!(extract_name("mangled"), "mangled");
+    }
+
+    #[test]
+    fn client_errors_display_their_cause() {
+        let e = ClientError::Server { code: ErrCode::Store, message: "disk on fire".into() };
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(ClientError::Busy.to_string().contains("busy"));
+        assert!(ClientError::ReadOnly.to_string().contains("read-only"));
+    }
+}

@@ -1,0 +1,40 @@
+//! A hardened TCP service over the crash-safe sketch store.
+//!
+//! `hmh-serve` is deliberately dependency-free (`std::net` only): a
+//! length-prefixed binary protocol ([`proto`]), a daemon with a bounded
+//! worker pool, per-connection deadlines, explicit load shedding and
+//! read-only degradation ([`server`]), and a client with jittered,
+//! budgeted backoff ([`client`]).
+//!
+//! The threat model assumed throughout: the network is untrusted.
+//! Length fields from the wire never drive unbounded allocation (frames
+//! are capped *before* their bodies are read, and bodies are read in
+//! chunks so memory tracks received bytes, not declared lengths);
+//! malformed input produces typed errors, never panics; slow or stalled
+//! peers hit deadlines; overload is shed with an explicit BUSY rather
+//! than queued without bound; and a `SIGKILL` at any byte leaves the
+//! store salvageable by the next open's recovery scan.
+//!
+//! ```no_run
+//! use hmh_core::{HmhParams, HyperMinHash};
+//! use hmh_serve::{serve, Client, ServeOptions};
+//!
+//! let handle = serve("/var/lib/hmh", "127.0.0.1:7700", ServeOptions::default()).unwrap();
+//! let mut client = Client::connect(handle.addr());
+//!
+//! let params = HmhParams::new(12, 6, 6).unwrap();
+//! client.put("events", &HyperMinHash::from_items(params, 0u64..10_000)).unwrap();
+//! println!("≈{} distinct", client.card("events").unwrap());
+//! handle.join();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientOptions};
+pub use proto::{ErrCode, Health, ProtoError, Request, Response, MAX_FRAME_LEN};
+pub use server::{serve, ServeError, ServeOptions, ServerHandle};

@@ -1,0 +1,840 @@
+//! The `HMS1` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     body length L (u32 LE), L ≤ MAX_FRAME_LEN
+//! 4       L     body
+//! ```
+//!
+//! A request body is `[PROTO_VERSION, opcode, fields…]`; a response body
+//! is `[status, fields…]`. Variable-length fields carry their own length
+//! prefixes (`u16` for names and messages, `u32` for sketch payloads),
+//! and every declared length is validated against both a protocol
+//! maximum and the bytes actually present *before* it is believed — an
+//! untrusted length field can bound a loop, but it can never drive an
+//! allocation or a read on its own. Frame bodies are likewise read in
+//! bounded chunks, so memory grows only with bytes a peer actually
+//! sends, never with what its header merely claims.
+//!
+//! The protocol is deliberately request/response over one connection
+//! (no pipelining): the server reads one frame, writes one frame. That
+//! keeps the failure matrix — truncation, garbage, deadline, disconnect
+//! at any byte — small enough to test exhaustively; see
+//! `crates/serve/tests/chaos.rs`.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use hmh_core::format::MAX_ENCODED_LEN;
+use hmh_store::log::MAX_NAME_LEN;
+
+/// Protocol version carried as the first body byte of every request.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame body. Covers the largest legal sketch payload
+/// plus two names and fixed fields, with slack; anything larger is a
+/// lying length prefix, answered with a typed error and a closed
+/// connection.
+pub const MAX_FRAME_LEN: usize = MAX_ENCODED_LEN + 2 * MAX_NAME_LEN + 64;
+
+/// Chunk size for reading frame bodies: allocation tracks received
+/// bytes, not declared lengths.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Request opcodes.
+mod op {
+    pub const PUT: u8 = 1;
+    pub const GET: u8 = 2;
+    pub const MERGE: u8 = 3;
+    pub const CARD: u8 = 4;
+    pub const JACCARD: u8 = 5;
+    pub const LIST: u8 = 6;
+    pub const HEALTH: u8 = 7;
+    pub const SHUTDOWN: u8 = 8;
+}
+
+/// Response status bytes.
+mod status {
+    pub const OK: u8 = 0;
+    pub const SKETCH: u8 = 1;
+    pub const VALUE: u8 = 2;
+    pub const NAMES: u8 = 3;
+    pub const HEALTH: u8 = 4;
+    pub const BUSY: u8 = 0x40;
+    pub const READ_ONLY: u8 = 0x41;
+    pub const ERR: u8 = 0x7f;
+}
+
+/// Typed error codes carried by [`Response::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request frame failed to parse.
+    BadFrame,
+    /// A length field exceeded a protocol maximum.
+    TooLarge,
+    /// Unsupported protocol version byte.
+    BadVersion,
+    /// Unknown opcode.
+    UnknownOp,
+    /// No sketch stored under the requested name.
+    NotFound,
+    /// The payload was not a decodable `HMH1` sketch.
+    BadSketch,
+    /// Sketch parameters are incompatible (merge/jaccard across configs).
+    Incompatible,
+    /// The store rejected the operation.
+    Store,
+    /// Anything else; the message says what.
+    Other(u8),
+}
+
+impl ErrCode {
+    /// Wire byte for this code.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ErrCode::BadFrame => 1,
+            ErrCode::TooLarge => 2,
+            ErrCode::BadVersion => 3,
+            ErrCode::UnknownOp => 4,
+            ErrCode::NotFound => 5,
+            ErrCode::BadSketch => 6,
+            ErrCode::Incompatible => 7,
+            ErrCode::Store => 8,
+            ErrCode::Other(b) => b,
+        }
+    }
+
+    /// Code for a wire byte (unknown bytes survive as [`ErrCode::Other`]).
+    pub fn from_byte(b: u8) -> Self {
+        match b {
+            1 => ErrCode::BadFrame,
+            2 => ErrCode::TooLarge,
+            3 => ErrCode::BadVersion,
+            4 => ErrCode::UnknownOp,
+            5 => ErrCode::NotFound,
+            6 => ErrCode::BadSketch,
+            7 => ErrCode::Incompatible,
+            8 => ErrCode::Store,
+            other => ErrCode::Other(other),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Store an encoded sketch under a name.
+    Put {
+        /// Target name.
+        name: String,
+        /// Encoded `HMH1` payload.
+        sketch: Vec<u8>,
+    },
+    /// Fetch the encoded sketch stored under a name.
+    Get {
+        /// Stored name.
+        name: String,
+    },
+    /// Merge an encoded sketch into the named one (creating it if absent).
+    Merge {
+        /// Target name.
+        name: String,
+        /// Encoded `HMH1` payload to fold in.
+        sketch: Vec<u8>,
+    },
+    /// Cardinality estimate of a stored sketch.
+    Card {
+        /// Stored name.
+        name: String,
+    },
+    /// Jaccard estimate between two stored sketches.
+    Jaccard {
+        /// First name.
+        a: String,
+        /// Second name.
+        b: String,
+    },
+    /// All stored names.
+    List,
+    /// Service health and degradation state.
+    Health,
+    /// Drain queued connections, then exit.
+    Shutdown,
+}
+
+/// Service health snapshot (the HEALTH response payload).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Health {
+    /// True once a store write error tripped read-only degradation.
+    pub read_only: bool,
+    /// Worker pool size.
+    pub workers: u32,
+    /// Accept queue capacity.
+    pub queue_capacity: u32,
+    /// Connections currently queued, waiting for a worker.
+    pub queue_depth: u32,
+    /// Connections currently being handled.
+    pub active: u32,
+    /// Connections shed with BUSY since start.
+    pub shed: u64,
+    /// Requests served since start.
+    pub served: u64,
+    /// Sketches currently stored.
+    pub sketches: u64,
+    /// True when the on-disk store scans clean right now.
+    pub store_clean: bool,
+    /// Corrupt regions the current on-disk scan quarantines.
+    pub quarantined: u64,
+    /// True when the current scan sees a torn tail.
+    pub truncated_tail: bool,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The operation succeeded with nothing to return.
+    Ok,
+    /// An encoded sketch.
+    Sketch(Vec<u8>),
+    /// A scalar estimate.
+    Value(f64),
+    /// Stored names.
+    Names(Vec<String>),
+    /// Health snapshot.
+    Health(Health),
+    /// The accept queue was full; try again later.
+    Busy,
+    /// The service is degraded to read-only; writes are refused.
+    ReadOnly,
+    /// The request failed.
+    Err {
+        /// Typed error code.
+        code: ErrCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a frame body failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Body ended before a field it declared.
+    Truncated {
+        /// Bytes the field needed.
+        expected: usize,
+        /// Bytes remaining.
+        got: usize,
+    },
+    /// A declared length exceeded its protocol maximum.
+    FieldTooLarge {
+        /// Declared length.
+        got: usize,
+        /// The maximum for that field.
+        max: usize,
+    },
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown request opcode.
+    UnknownOp(u8),
+    /// Unknown response status byte.
+    UnknownStatus(u8),
+    /// A name or message was not valid UTF-8, or a name was empty.
+    BadString,
+    /// Parse finished with bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { expected, got } => {
+                write!(f, "truncated frame: field needs {expected} bytes, {got} remain")
+            }
+            ProtoError::FieldTooLarge { got, max } => {
+                write!(f, "field length {got} exceeds protocol maximum {max}")
+            }
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::UnknownOp(o) => write!(f, "unknown opcode {o}"),
+            ProtoError::UnknownStatus(s) => write!(f, "unknown response status {s}"),
+            ProtoError::BadString => write!(f, "name or message is empty or not valid UTF-8"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl ProtoError {
+    /// The error code a server reports for this parse failure.
+    pub fn code(&self) -> ErrCode {
+        match self {
+            ProtoError::FieldTooLarge { .. } => ErrCode::TooLarge,
+            ProtoError::BadVersion(_) => ErrCode::BadVersion,
+            ProtoError::UnknownOp(_) => ErrCode::UnknownOp,
+            _ => ErrCode::BadFrame,
+        }
+    }
+}
+
+/// Frame-level read failures, split so callers can answer a lying length
+/// prefix with a typed response before hanging up.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The transport failed (timeout, reset, truncation mid-body).
+    Io(io::Error),
+    /// The length prefix exceeded the frame ceiling.
+    TooLarge {
+        /// Declared body length.
+        got: usize,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
+            FrameError::TooLarge { got, max } => {
+                write!(f, "frame length {got} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::TooLarge { .. } => None,
+        }
+    }
+}
+
+/// Write one frame (length prefix + body) and flush.
+///
+/// # Panics
+/// If `body` exceeds [`MAX_FRAME_LEN`]; encoders cap every field, so a
+/// larger body is a bug in this crate, not input-dependent.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    assert!(body.len() <= MAX_FRAME_LEN, "invariant: encoders cap frame bodies");
+    let len = u32::try_from(body.len()).expect("invariant: MAX_FRAME_LEN < u32::MAX");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame body. `Ok(None)` on clean EOF at a frame boundary;
+/// [`FrameError::TooLarge`] when the length prefix exceeds `max` (the
+/// body bytes are *not* read); I/O errors (including timeouts and
+/// mid-body EOF) as [`FrameError::Io`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_buf).map_err(FrameError::Io)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { got: len, max });
+    }
+    // Grow with received bytes, not the declared length: a peer that
+    // *claims* a huge body but sends nothing costs nothing but a read
+    // timeout.
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = remaining.min(READ_CHUNK);
+        let n = r.read(&mut chunk[..want]).map_err(FrameError::Io)?;
+        if n == 0 {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("frame truncated: {remaining} of {len} body bytes missing"),
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        remaining -= n;
+    }
+    Ok(Some(body))
+}
+
+/// Fill `buf` exactly; `Ok(false)` on EOF before the first byte, errors
+/// (UnexpectedEof) on EOF mid-buffer.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "frame truncated inside length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// Body encoding
+// ---------------------------------------------------------------------
+
+fn push_name(out: &mut Vec<u8>, name: &str) {
+    assert!(
+        !name.is_empty() && name.len() <= MAX_NAME_LEN,
+        "invariant: callers validate names before encoding"
+    );
+    let len = u16::try_from(name.len()).expect("invariant: MAX_NAME_LEN fits u16");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+}
+
+fn push_blob(out: &mut Vec<u8>, blob: &[u8]) {
+    assert!(blob.len() <= MAX_ENCODED_LEN, "invariant: callers validate payload size");
+    let len = u32::try_from(blob.len()).expect("invariant: MAX_ENCODED_LEN < u32::MAX");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(blob);
+}
+
+fn push_message(out: &mut Vec<u8>, message: &str) {
+    // Messages are server-generated; truncate defensively rather than
+    // trust them to stay short.
+    let bytes = message.as_bytes();
+    let cut = bytes.len().min(1024);
+    // Don't split a UTF-8 sequence at the cut.
+    let cut = (0..=cut).rev().find(|&i| message.is_char_boundary(i)).unwrap_or(0);
+    let len = u16::try_from(cut).expect("invariant: cut ≤ 1024");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&bytes[..cut]);
+}
+
+/// Encode a request body.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = vec![PROTO_VERSION];
+    match req {
+        Request::Put { name, sketch } => {
+            out.push(op::PUT);
+            push_name(&mut out, name);
+            push_blob(&mut out, sketch);
+        }
+        Request::Get { name } => {
+            out.push(op::GET);
+            push_name(&mut out, name);
+        }
+        Request::Merge { name, sketch } => {
+            out.push(op::MERGE);
+            push_name(&mut out, name);
+            push_blob(&mut out, sketch);
+        }
+        Request::Card { name } => {
+            out.push(op::CARD);
+            push_name(&mut out, name);
+        }
+        Request::Jaccard { a, b } => {
+            out.push(op::JACCARD);
+            push_name(&mut out, a);
+            push_name(&mut out, b);
+        }
+        Request::List => out.push(op::LIST),
+        Request::Health => out.push(op::HEALTH),
+        Request::Shutdown => out.push(op::SHUTDOWN),
+    }
+    out
+}
+
+/// Encode a response body.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Ok => out.push(status::OK),
+        Response::Sketch(bytes) => {
+            out.push(status::SKETCH);
+            push_blob(&mut out, bytes);
+        }
+        Response::Value(v) => {
+            out.push(status::VALUE);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Response::Names(names) => {
+            out.push(status::NAMES);
+            let count = u32::try_from(names.len()).expect("invariant: stored name count fits u32");
+            out.extend_from_slice(&count.to_le_bytes());
+            for name in names {
+                push_name(&mut out, name);
+            }
+        }
+        Response::Health(h) => {
+            out.push(status::HEALTH);
+            out.push(u8::from(h.read_only));
+            out.extend_from_slice(&h.workers.to_le_bytes());
+            out.extend_from_slice(&h.queue_capacity.to_le_bytes());
+            out.extend_from_slice(&h.queue_depth.to_le_bytes());
+            out.extend_from_slice(&h.active.to_le_bytes());
+            out.extend_from_slice(&h.shed.to_le_bytes());
+            out.extend_from_slice(&h.served.to_le_bytes());
+            out.extend_from_slice(&h.sketches.to_le_bytes());
+            out.push(u8::from(h.store_clean));
+            out.extend_from_slice(&h.quarantined.to_le_bytes());
+            out.push(u8::from(h.truncated_tail));
+        }
+        Response::Busy => out.push(status::BUSY),
+        Response::ReadOnly => out.push(status::READ_ONLY),
+        Response::Err { code, message } => {
+            out.push(status::ERR);
+            out.push(code.to_byte());
+            push_message(&mut out, message);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Body decoding
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated { expected: n, got: self.remaining() });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn flag(&mut self) -> Result<bool, ProtoError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// A name: u16 length (validated against [`MAX_NAME_LEN`] *before*
+    /// any read), then that many UTF-8 bytes, non-empty.
+    fn name(&mut self) -> Result<String, ProtoError> {
+        let len = usize::from(self.u16()?);
+        if len > MAX_NAME_LEN {
+            return Err(ProtoError::FieldTooLarge { got: len, max: MAX_NAME_LEN });
+        }
+        if len == 0 {
+            return Err(ProtoError::BadString);
+        }
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map(str::to_string).map_err(|_| ProtoError::BadString)
+    }
+
+    /// A message string like [`Cursor::name`] but possibly empty.
+    fn message(&mut self) -> Result<String, ProtoError> {
+        let len = usize::from(self.u16()?);
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map(str::to_string).map_err(|_| ProtoError::BadString)
+    }
+
+    /// A sketch blob: u32 length validated against [`MAX_ENCODED_LEN`]
+    /// before any read.
+    fn blob(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > MAX_ENCODED_LEN {
+            return Err(ProtoError::FieldTooLarge { got: len, max: MAX_ENCODED_LEN });
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Decode a request body.
+pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(body);
+    let version = c.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let opcode = c.u8()?;
+    let req = match opcode {
+        op::PUT => Request::Put { name: c.name()?, sketch: c.blob()? },
+        op::GET => Request::Get { name: c.name()? },
+        op::MERGE => Request::Merge { name: c.name()?, sketch: c.blob()? },
+        op::CARD => Request::Card { name: c.name()? },
+        op::JACCARD => Request::Jaccard { a: c.name()?, b: c.name()? },
+        op::LIST => Request::List,
+        op::HEALTH => Request::Health,
+        op::SHUTDOWN => Request::Shutdown,
+        other => return Err(ProtoError::UnknownOp(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decode a response body.
+pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(body);
+    let resp = match c.u8()? {
+        status::OK => Response::Ok,
+        status::SKETCH => Response::Sketch(c.blob()?),
+        status::VALUE => Response::Value(c.f64()?),
+        status::NAMES => {
+            let count = c.u32()? as usize;
+            // Bound the loop by bytes present: each name costs ≥ 3 bytes
+            // on the wire, so a lying count fails fast on Truncated.
+            let mut names = Vec::with_capacity(count.min(c.remaining() / 3 + 1));
+            for _ in 0..count {
+                names.push(c.name()?);
+            }
+            Response::Names(names)
+        }
+        status::HEALTH => Response::Health(Health {
+            read_only: c.flag()?,
+            workers: c.u32()?,
+            queue_capacity: c.u32()?,
+            queue_depth: c.u32()?,
+            active: c.u32()?,
+            shed: c.u64()?,
+            served: c.u64()?,
+            sketches: c.u64()?,
+            store_clean: c.flag()?,
+            quarantined: c.u64()?,
+            truncated_tail: c.flag()?,
+        }),
+        status::BUSY => Response::Busy,
+        status::READ_ONLY => Response::ReadOnly,
+        status::ERR => {
+            let code = ErrCode::from_byte(c.u8()?);
+            Response::Err { code, message: c.message()? }
+        }
+        other => return Err(ProtoError::UnknownStatus(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let body = encode_request(&req);
+        assert_eq!(decode_request(&body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let body = encode_response(&resp);
+        assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Put { name: "a".into(), sketch: vec![1, 2, 3] });
+        round_trip_request(Request::Get { name: "日本語".into() });
+        round_trip_request(Request::Merge { name: "m".into(), sketch: vec![0; 1000] });
+        round_trip_request(Request::Card { name: "c".into() });
+        round_trip_request(Request::Jaccard { a: "x".into(), b: "y".into() });
+        round_trip_request(Request::List);
+        round_trip_request(Request::Health);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Ok);
+        round_trip_response(Response::Sketch(vec![9; 321]));
+        round_trip_response(Response::Value(0.123456789));
+        round_trip_response(Response::Value(f64::NAN.to_bits() as f64)); // bit-exact via to_le_bytes
+        round_trip_response(Response::Names(vec!["a".into(), "bb".into(), "ccc".into()]));
+        round_trip_response(Response::Names(Vec::new()));
+        round_trip_response(Response::Health(Health {
+            read_only: true,
+            workers: 4,
+            queue_capacity: 16,
+            queue_depth: 3,
+            active: 2,
+            shed: 99,
+            served: 12345,
+            sketches: 7,
+            store_clean: false,
+            quarantined: 2,
+            truncated_tail: true,
+        }));
+        round_trip_response(Response::Busy);
+        round_trip_response(Response::ReadOnly);
+        round_trip_response(Response::Err {
+            code: ErrCode::NotFound,
+            message: "no such sketch".into(),
+        });
+        round_trip_response(Response::Err { code: ErrCode::Other(200), message: String::new() });
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let req = Request::Put { name: "frame".into(), sketch: vec![5; 100] };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).unwrap();
+        write_frame(&mut wire, &encode_request(&Request::List)).unwrap();
+        let mut r = &wire[..];
+        let one = read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap();
+        let two = read_frame(&mut r, MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(decode_request(&one).unwrap(), req);
+        assert_eq!(decode_request(&two).unwrap(), Request::List);
+        assert!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_typed_and_unread() {
+        // Length prefix claims 4 GiB; nothing but the prefix is consumed.
+        let mut wire = u32::MAX.to_le_bytes().to_vec();
+        wire.extend_from_slice(b"leftover");
+        let mut r = &wire[..];
+        match read_frame(&mut r, MAX_FRAME_LEN) {
+            Err(FrameError::TooLarge { got, max }) => {
+                assert_eq!(got, u32::MAX as usize);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(r, b"leftover", "body bytes must not be consumed");
+    }
+
+    #[test]
+    fn truncated_frames_error_at_every_cut() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&Request::Get { name: "x".into() })).unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            let err = read_frame(&mut r, MAX_FRAME_LEN);
+            assert!(
+                matches!(err, Err(FrameError::Io(ref e)) if e.kind() == io::ErrorKind::UnexpectedEof),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_bodies_are_typed_errors() {
+        // Version/opcode garbage.
+        assert_eq!(decode_request(&[]), Err(ProtoError::Truncated { expected: 1, got: 0 }));
+        assert_eq!(decode_request(&[9, op::LIST]), Err(ProtoError::BadVersion(9)));
+        assert_eq!(decode_request(&[PROTO_VERSION, 0xEE]), Err(ProtoError::UnknownOp(0xEE)));
+        // Name length lies: claims 5000 (over cap) and 500 (unbacked).
+        let mut b = vec![PROTO_VERSION, op::GET];
+        b.extend_from_slice(&5000u16.to_le_bytes());
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::FieldTooLarge { got: 5000, max: MAX_NAME_LEN })
+        );
+        let mut b = vec![PROTO_VERSION, op::GET];
+        b.extend_from_slice(&500u16.to_le_bytes());
+        b.extend_from_slice(b"abc");
+        assert_eq!(decode_request(&b), Err(ProtoError::Truncated { expected: 500, got: 3 }));
+        // Empty and non-UTF-8 names.
+        let mut b = vec![PROTO_VERSION, op::GET];
+        b.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_request(&b), Err(ProtoError::BadString));
+        let mut b = vec![PROTO_VERSION, op::GET];
+        b.extend_from_slice(&2u16.to_le_bytes());
+        b.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(decode_request(&b), Err(ProtoError::BadString));
+        // Sketch blob claiming more than the format ceiling.
+        let mut b = vec![PROTO_VERSION, op::PUT];
+        b.extend_from_slice(&1u16.to_le_bytes());
+        b.push(b'x');
+        let claim = match u32::try_from(MAX_ENCODED_LEN + 1) {
+            Ok(claim) => claim,
+            Err(_) => unreachable!("test constant fits u32"),
+        };
+        b.extend_from_slice(&claim.to_le_bytes());
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_ENCODED_LEN + 1, max: MAX_ENCODED_LEN })
+        );
+        // Trailing junk after a complete request.
+        let mut b = encode_request(&Request::List);
+        b.push(0);
+        assert_eq!(decode_request(&b), Err(ProtoError::TrailingBytes(1)));
+        // Response side: unknown status, lying name count.
+        assert_eq!(decode_response(&[0x33]), Err(ProtoError::UnknownStatus(0x33)));
+        let mut b = vec![3u8]; // NAMES
+        b.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(decode_response(&b), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        // Seeded LCG garbage of many lengths through both decoders: every
+        // outcome is Ok or a typed error, never a panic.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for len in [0usize, 1, 2, 3, 7, 16, 64, 257, 1024] {
+            for _ in 0..32 {
+                let body: Vec<u8> = (0..len).map(|_| next()).collect();
+                let _ = decode_request(&body);
+                let _ = decode_response(&body);
+            }
+        }
+    }
+
+    #[test]
+    fn error_code_bytes_round_trip() {
+        for code in [
+            ErrCode::BadFrame,
+            ErrCode::TooLarge,
+            ErrCode::BadVersion,
+            ErrCode::UnknownOp,
+            ErrCode::NotFound,
+            ErrCode::BadSketch,
+            ErrCode::Incompatible,
+            ErrCode::Store,
+            ErrCode::Other(77),
+        ] {
+            assert_eq!(ErrCode::from_byte(code.to_byte()), code);
+        }
+    }
+}

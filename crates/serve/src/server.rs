@@ -1,0 +1,547 @@
+//! The `hmh-serve` daemon: a bounded, deadlined TCP front over the store.
+//!
+//! Failure behavior is the design, not an afterthought:
+//!
+//! * **Backpressure, not queues without end.** A fixed worker pool pulls
+//!   connections from a fixed-depth accept queue. When the queue is
+//!   full, the accept loop *sheds* the connection — a best-effort BUSY
+//!   frame, then close — instead of queueing unboundedly. Clients treat
+//!   BUSY as transient and back off (see [`crate::client`]).
+//! * **Deadlines everywhere.** Every connection gets read and write
+//!   timeouts, so a slow-loris peer costs a worker at most one deadline,
+//!   never forever.
+//! * **Typed errors, never panics.** Malformed frames get a typed ERR
+//!   response and a closed connection; the request handlers return
+//!   [`Response`] values for every input.
+//! * **Graceful degradation.** A store write failure trips the service
+//!   into read-only mode: reads keep serving, writes get READ_ONLY, and
+//!   HEALTH says exactly what state the service is in. A later
+//!   successful open can only happen by restart — degradation is sticky
+//!   because a store that failed a write is suspect until an operator
+//!   (or the restart fsck) looks at it.
+//! * **Drain, then exit.** Shutdown (the SHUTDOWN op, or
+//!   [`ServerHandle::shutdown`]) stops accepting, lets workers finish
+//!   every already-queued connection, then joins. The store lock is held
+//!   for the daemon's lifetime, so a stray CLI cannot corrupt the log
+//!   behind its back; a SIGKILL at any byte is recovered by the store's
+//!   salvage scan on the next open.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use hmh_core::format;
+use hmh_core::HyperMinHash;
+use hmh_store::{FileBackend, SketchStore, StoreError, StoreOptions};
+
+use crate::proto::{
+    decode_request, encode_response, read_frame, write_frame, ErrCode, FrameError, Health, Request,
+    Response, MAX_FRAME_LEN,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accept-queue depth; connections beyond it are shed with BUSY.
+    pub queue_depth: usize,
+    /// Per-connection read deadline (each blocking read).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline (each blocking write).
+    pub write_timeout: Duration,
+    /// Frame body ceiling (tests shrink it; the protocol caps it anyway).
+    pub max_frame: usize,
+    /// Store options for the underlying [`SketchStore`].
+    pub store: StoreOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 16,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_frame: MAX_FRAME_LEN,
+            store: StoreOptions::default(),
+        }
+    }
+}
+
+/// Why the daemon could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The store could not be opened (I/O, or another process holds the
+    /// lock).
+    Store(StoreError),
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Store(e) => write!(f, "cannot open store: {e}"),
+            ServeError::Io(e) => write!(f, "cannot start server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Store(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+struct Shared {
+    store: Mutex<SketchStore<FileBackend>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    /// Signals workers that the queue gained a connection or shutdown began.
+    wake: Condvar,
+    shutdown: AtomicBool,
+    read_only: AtomicBool,
+    shed: AtomicU64,
+    served: AtomicU64,
+    active: AtomicU32,
+    opts: ServeOptions,
+}
+
+impl Shared {
+    /// The store, recovering from a poisoned mutex: handlers never panic
+    /// by design, but a poisoned lock must degrade, not cascade.
+    fn store(&self) -> MutexGuard<'_, SketchStore<FileBackend>> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running daemon. Dropping the handle signals shutdown (without
+/// waiting); call [`ServerHandle::join`] for an orderly drain-then-exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown without waiting: stop accepting, let workers
+    /// drain the queue.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+    }
+
+    /// Signal shutdown and wait for the accept loop and every worker to
+    /// finish draining.
+    pub fn join(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            // A worker that panicked already lost its connection; there
+            // is nothing more to salvage from its JoinHandle.
+            let _ = t.join();
+        }
+    }
+
+    /// True once every thread has exited (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.threads.iter().all(thread::JoinHandle::is_finished)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start the daemon: open (and lock) the store at `dir`, bind `addr`,
+/// spawn the accept loop and worker pool.
+pub fn serve(
+    dir: impl Into<PathBuf>,
+    addr: impl ToSocketAddrs,
+    opts: ServeOptions,
+) -> Result<ServerHandle, ServeError> {
+    let store = SketchStore::open_opts(dir, opts.store.clone()).map_err(ServeError::Store)?;
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        store: Mutex::new(store),
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        read_only: AtomicBool::new(false),
+        shed: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        active: AtomicU32::new(0),
+        opts: opts.clone(),
+    });
+
+    let mut threads = Vec::with_capacity(opts.workers + 1);
+    let accept_shared = Arc::clone(&shared);
+    threads.push(
+        thread::Builder::new()
+            .name("hmh-serve-accept".into())
+            .spawn(move || accept_loop(&accept_shared, &listener))?,
+    );
+    for i in 0..opts.workers.max(1) {
+        let worker_shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("hmh-serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))?,
+        );
+    }
+    Ok(ServerHandle { addr, shared, threads })
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => enqueue(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
+            // Transient accept errors (EMFILE under a connection storm,
+            // aborted handshakes): back off a tick and keep serving.
+            Err(_) => thread::sleep(POLL_TICK),
+        }
+    }
+    // Wake every worker so they observe shutdown and drain.
+    shared.wake.notify_all();
+}
+
+fn enqueue(shared: &Shared, stream: TcpStream) {
+    let mut queue = shared.queue();
+    if queue.len() >= shared.opts.queue_depth {
+        drop(queue);
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        shed_busy(shared, stream);
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.wake.notify_one();
+}
+
+/// Tell a shed connection why it is being dropped — best effort, under a
+/// short deadline so a non-reading peer cannot stall the accept loop.
+fn shed_busy(shared: &Shared, mut stream: TcpStream) {
+    let deadline = shared.opts.write_timeout.min(Duration::from_millis(100));
+    let _ = stream.set_write_timeout(Some(deadline));
+    let _ = write_frame(&mut stream, &encode_response(&Response::Busy));
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // Timed wait: a missed notify can only delay one tick.
+                let (guard, _timeout) = shared
+                    .wake
+                    .wait_timeout(queue, POLL_TICK)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        handle_connection(shared, stream);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // Deadline every blocking read and write; a misconfigured socket is
+    // not worth serving without them.
+    if stream.set_read_timeout(Some(shared.opts.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(shared.opts.write_timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+
+    loop {
+        let body = match read_frame(&mut stream, shared.opts.max_frame) {
+            Ok(Some(body)) => body,
+            // Clean EOF, deadline, reset, or truncation: hang up. The
+            // peer is gone or hostile; there is no one to answer.
+            Ok(None) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::TooLarge { got, max }) => {
+                // A lying length prefix gets a typed answer, then the
+                // connection closes — resynchronizing inside a byte
+                // stream after an unread body is guesswork.
+                let resp = Response::Err {
+                    code: ErrCode::TooLarge,
+                    message: format!("frame length {got} exceeds maximum {max}"),
+                };
+                let _ = write_frame(&mut stream, &encode_response(&resp));
+                return;
+            }
+        };
+
+        let (resp, disposition) = match decode_request(&body) {
+            Ok(request) => handle_request(shared, request),
+            Err(e) => (
+                Response::Err { code: e.code(), message: e.to_string() },
+                // Parse failures close the connection: the peer either
+                // speaks a different protocol version or is garbage.
+                Disposition::Close,
+            ),
+        };
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+            return;
+        }
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        match disposition {
+            Disposition::Close => return,
+            Disposition::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.wake.notify_all();
+                return;
+            }
+            Disposition::KeepAlive => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Draining: finish this request, no further ones.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+enum Disposition {
+    KeepAlive,
+    Close,
+    Shutdown,
+}
+
+fn handle_request(shared: &Shared, request: Request) -> (Response, Disposition) {
+    let resp = match request {
+        Request::Put { name, sketch } => write_op(shared, &name, sketch, false),
+        Request::Merge { name, sketch } => write_op(shared, &name, sketch, true),
+        Request::Get { name } => match shared.store().get_encoded(&name) {
+            Some(bytes) => Response::Sketch(bytes.to_vec()),
+            None => not_found(&name),
+        },
+        Request::Card { name } => match decoded(shared, &name) {
+            Ok(sketch) => Response::Value(sketch.cardinality()),
+            Err(resp) => resp,
+        },
+        Request::Jaccard { a, b } => match (decoded(shared, &a), decoded(shared, &b)) {
+            (Ok(sa), Ok(sb)) => match sa.jaccard(&sb) {
+                Ok(j) => Response::Value(j.estimate),
+                Err(e) => Response::Err { code: ErrCode::Incompatible, message: e.to_string() },
+            },
+            (Err(resp), _) | (_, Err(resp)) => resp,
+        },
+        Request::List => Response::Names(shared.store().names().map(str::to_string).collect()),
+        Request::Health => Response::Health(health_snapshot(shared)),
+        Request::Shutdown => return (Response::Ok, Disposition::Shutdown),
+    };
+    (resp, Disposition::KeepAlive)
+}
+
+fn not_found(name: &str) -> Response {
+    Response::Err { code: ErrCode::NotFound, message: format!("no sketch named {name:?}") }
+}
+
+fn decoded(shared: &Shared, name: &str) -> Result<HyperMinHash, Response> {
+    let store = shared.store();
+    let Some(bytes) = store.get_encoded(name) else {
+        return Err(not_found(name));
+    };
+    format::decode(bytes)
+        .map_err(|e| Response::Err { code: ErrCode::BadSketch, message: e.to_string() })
+}
+
+/// PUT and MERGE: validate before touching the store, refuse in
+/// read-only mode, and trip read-only degradation on a store I/O error.
+fn write_op(shared: &Shared, name: &str, payload: Vec<u8>, merge: bool) -> Response {
+    if shared.read_only.load(Ordering::SeqCst) {
+        return Response::ReadOnly;
+    }
+    // Decode up front: hostile payloads are a protocol error, not a
+    // store error, and must not consume a write.
+    let incoming = match format::decode(&payload) {
+        Ok(sketch) => sketch,
+        Err(e) => {
+            return Response::Err { code: ErrCode::BadSketch, message: e.to_string() };
+        }
+    };
+
+    let mut store = shared.store();
+    let result = if merge {
+        match store.get_encoded(name).map(format::decode) {
+            // Existing sketch decodes: fold the incoming one in.
+            Some(Ok(mut existing)) => match existing.merge(&incoming) {
+                Ok(()) => store.put(name, &existing),
+                Err(e) => {
+                    return Response::Err { code: ErrCode::Incompatible, message: e.to_string() };
+                }
+            },
+            // No existing sketch: merge degenerates to put.
+            None => store.put_encoded(name, &payload),
+            Some(Err(e)) => Err(StoreError::Format(e)),
+        }
+    } else {
+        store.put_encoded(name, &payload)
+    };
+    drop(store);
+
+    match result {
+        Ok(()) => Response::Ok,
+        Err(StoreError::Io(e)) => {
+            // The store could not make the write durable. Degrade to
+            // read-only: acknowledged state stays servable, further
+            // writes are refused until an operator restarts (which runs
+            // recovery).
+            shared.read_only.store(true, Ordering::SeqCst);
+            Response::Err {
+                code: ErrCode::Store,
+                message: format!("write failed ({e}); service is now read-only"),
+            }
+        }
+        Err(e) => Response::Err { code: ErrCode::Store, message: e.to_string() },
+    }
+}
+
+fn health_snapshot(shared: &Shared) -> Health {
+    let mut store = shared.store();
+    let (sketches, fsck) = (store.len(), store.fsck());
+    drop(store);
+    let (store_clean, quarantined, truncated_tail) = match fsck {
+        Ok(report) => (report.is_clean(), report.quarantined as u64, report.truncated_tail),
+        // Health must answer even when the disk will not: report dirty.
+        Err(_) => (false, 0, false),
+    };
+    Health {
+        read_only: shared.read_only.load(Ordering::SeqCst),
+        workers: clamp_u32(shared.opts.workers),
+        queue_capacity: clamp_u32(shared.opts.queue_depth),
+        queue_depth: clamp_u32(shared.queue().len()),
+        active: shared.active.load(Ordering::SeqCst),
+        shed: shared.shed.load(Ordering::Relaxed),
+        served: shared.served.load(Ordering::Relaxed),
+        sketches: sketches as u64,
+        store_clean,
+        quarantined,
+        truncated_tail,
+    }
+}
+
+fn clamp_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmh_core::HmhParams;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hmh-serve-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_opts() -> ServeOptions {
+        ServeOptions {
+            workers: 2,
+            queue_depth: 4,
+            read_timeout: Duration::from_millis(400),
+            write_timeout: Duration::from_millis(400),
+            store: StoreOptions::no_sleep(),
+            ..ServeOptions::default()
+        }
+    }
+
+    fn sketch_bytes(lo: u64, hi: u64) -> Vec<u8> {
+        let params = HmhParams::new(6, 6, 6).unwrap();
+        format::encode(&HyperMinHash::from_items(params, lo..hi))
+    }
+
+    #[test]
+    fn serve_binds_and_drains_on_shutdown() {
+        let dir = tmpdir("bind");
+        let handle = serve(&dir, "127.0.0.1:0", test_opts()).unwrap();
+        assert_ne!(handle.addr().port(), 0);
+        handle.join();
+        // The lock is released: a fresh open succeeds.
+        assert!(SketchStore::open(&dir).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn daemon_holds_the_store_lock() {
+        let dir = tmpdir("lock");
+        let handle = serve(&dir, "127.0.0.1:0", test_opts()).unwrap();
+        let err = SketchStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Locked(_)), "{err:?}");
+        // And a second daemon on the same dir refuses to start.
+        assert!(matches!(
+            serve(&dir, "127.0.0.1:0", test_opts()),
+            Err(ServeError::Store(StoreError::Locked(_)))
+        ));
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_get_round_trip_over_a_raw_socket() {
+        let dir = tmpdir("raw");
+        let handle = serve(&dir, "127.0.0.1:0", test_opts()).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+
+        let payload = sketch_bytes(0, 500);
+        let put = Request::Put { name: "raw".into(), sketch: payload.clone() };
+        write_frame(&mut conn, &crate::proto::encode_request(&put)).unwrap();
+        let body = read_frame(&mut conn, MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(crate::proto::decode_response(&body).unwrap(), Response::Ok);
+
+        let get = Request::Get { name: "raw".into() };
+        write_frame(&mut conn, &crate::proto::encode_request(&get)).unwrap();
+        let body = read_frame(&mut conn, MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(
+            crate::proto::decode_response(&body).unwrap(),
+            Response::Sketch(payload),
+            "stored bytes come back bit-identical"
+        );
+        drop(conn);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,418 @@
+//! Socket-level chaos harness: a real daemon on a real localhost socket,
+//! fed deterministic adversarial schedules — truncated frames, garbage
+//! bytes, lying length prefixes, slow-loris stalls, mid-stream
+//! disconnects, overload storms, and a store yanked out from under the
+//! daemon. After every schedule the same invariants hold:
+//!
+//! * the daemon never panics or hangs — a healthy client still gets
+//!   correct answers afterwards;
+//! * hostile input earns a typed error (or a BUSY shed), never silence
+//!   with a wedged worker behind it;
+//! * connection slots drain back to zero — no leak survives the storm;
+//! * the store stays salvageable: whatever the sockets saw, a fresh open
+//!   reports clean-or-salvaged, never unrecoverable.
+//!
+//! Everything is seeded (SplitMix64): a failing schedule replays
+//! bit-for-bit.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hmh_core::format;
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_hash::splitmix::SplitMix64;
+use hmh_serve::proto::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, MAX_FRAME_LEN,
+};
+use hmh_serve::{serve, Client, ClientError, ClientOptions, ErrCode, ServeOptions, ServerHandle};
+use hmh_store::{RetryPolicy, SketchStore, StoreOptions};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hmh-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn opts(workers: usize, queue_depth: usize) -> ServeOptions {
+    ServeOptions {
+        workers,
+        queue_depth,
+        // Short deadlines keep the whole suite fast: a stalled peer costs
+        // a worker at most 300ms.
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        store: StoreOptions::no_sleep(),
+        ..ServeOptions::default()
+    }
+}
+
+fn start(dir: &TempDir, workers: usize, queue_depth: usize) -> ServerHandle {
+    serve(&dir.0, "127.0.0.1:0", opts(workers, queue_depth)).unwrap()
+}
+
+fn client(handle: &ServerHandle) -> Client {
+    Client::with_options(
+        handle.addr(),
+        ClientOptions {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default().with_jitter_seed(0xC0FFEE),
+        },
+    )
+}
+
+fn sketch(lo: u64, hi: u64) -> HyperMinHash {
+    let params = HmhParams::new(8, 6, 6).unwrap();
+    HyperMinHash::from_items(params, lo..hi)
+}
+
+/// The post-chaos invariant: the daemon still serves a healthy client
+/// correctly, and its connection slots have drained.
+fn assert_still_healthy(handle: &ServerHandle, tag: &str) {
+    let mut c = client(handle);
+    let name = format!("healthy-{tag}");
+    let s = sketch(0, 2_000);
+    c.put(&name, &s).unwrap_or_else(|e| panic!("{tag}: put after chaos: {e}"));
+    let got = c.get(&name).unwrap_or_else(|e| panic!("{tag}: get after chaos: {e}"));
+    assert_eq!(got, s, "{tag}: round trip intact after chaos");
+    let health = c.health().unwrap_or_else(|e| panic!("{tag}: health after chaos: {e}"));
+    // Our own connection may still be counted while the worker serves
+    // this very HEALTH request; anything beyond that is a leaked slot.
+    assert!(health.active <= 1, "{tag}: connection slots leaked: {health:?}");
+    assert_eq!(health.queue_depth, 0, "{tag}: queue not drained: {health:?}");
+}
+
+fn raw(handle: &ServerHandle) -> TcpStream {
+    let conn = TcpStream::connect(handle.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    conn.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+    conn
+}
+
+#[test]
+fn truncated_frames_at_every_cut_never_wedge_the_daemon() {
+    let dir = TempDir::new("truncate");
+    let handle = start(&dir, 2, 8);
+
+    let body =
+        encode_request(&Request::Put { name: "t".into(), sketch: format::encode(&sketch(0, 100)) });
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &body).unwrap();
+
+    // Cut the framed bytes at every prefix length (capped for the long
+    // tail — every interesting boundary is in the first bytes and the
+    // exact cut points are swept densely there).
+    let cuts: Vec<usize> =
+        (0..framed.len().min(64)).chain([framed.len() / 2, framed.len() - 1]).collect();
+    for cut in cuts {
+        let mut conn = raw(&handle);
+        conn.write_all(&framed[..cut]).unwrap();
+        // Half a frame, then a clean shutdown of the write half: the
+        // server sees EOF (or a short read) mid-frame and must hang up
+        // without panicking.
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut rest = Vec::new();
+        let _ = conn.read_to_end(&mut rest); // reply or clean close, never a hang
+    }
+    assert_still_healthy(&handle, "truncate");
+    handle.join();
+}
+
+#[test]
+fn garbage_bytes_get_typed_errors_or_clean_closes() {
+    let dir = TempDir::new("garbage");
+    let handle = start(&dir, 2, 8);
+    let mut rng = SplitMix64::new(0xBAD5EED);
+
+    for round in 0..32 {
+        let len = (rng.next_u64() % 200) as usize + 1;
+        let mut bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        if round % 4 == 0 {
+            // Well-framed garbage: a correct length prefix over a hostile
+            // body. This must earn a *typed* error reply.
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &bytes).unwrap();
+            bytes = framed;
+        }
+        let mut conn = raw(&handle);
+        conn.write_all(&bytes).unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = Vec::new();
+        let _ = conn.read_to_end(&mut reply);
+        if round % 4 == 0 && !reply.is_empty() {
+            let body = read_frame(&mut &reply[..], MAX_FRAME_LEN).unwrap().expect("framed reply");
+            match decode_response(&body).expect("server replies in protocol") {
+                Response::Err { .. } | Response::Busy => {}
+                other => panic!("garbage earned a success reply: {other:?}"),
+            }
+        }
+    }
+    assert_still_healthy(&handle, "garbage");
+    handle.join();
+}
+
+#[test]
+fn lying_length_prefix_is_rejected_without_allocation() {
+    let dir = TempDir::new("lying-len");
+    let handle = start(&dir, 2, 8);
+
+    for declared in [MAX_FRAME_LEN as u64 + 1, u32::MAX as u64] {
+        let mut conn = raw(&handle);
+        // Declare a huge body, send only 8 bytes of it: the server must
+        // answer TOO_LARGE from the prefix alone, never waiting for (or
+        // allocating) the declared length.
+        conn.write_all(&u32::try_from(declared).unwrap().to_le_bytes()).unwrap();
+        conn.write_all(&[0u8; 8]).unwrap();
+        let body = read_frame(&mut conn, MAX_FRAME_LEN).unwrap().expect("typed reply");
+        match decode_response(&body).unwrap() {
+            Response::Err { code: ErrCode::TooLarge, .. } => {}
+            other => panic!("declared {declared}: expected TooLarge, got {other:?}"),
+        }
+    }
+    assert_still_healthy(&handle, "lying-len");
+    handle.join();
+}
+
+#[test]
+fn slow_loris_costs_a_deadline_not_a_worker() {
+    let dir = TempDir::new("loris");
+    let handle = start(&dir, 2, 8);
+
+    // Two stallers — as many as there are workers — each dribbling one
+    // byte then going quiet. Without read deadlines this would wedge the
+    // entire pool.
+    let stallers: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut conn = raw(&handle);
+            conn.write_all(&[7]).unwrap(); // first byte of a length prefix, then silence
+            conn
+        })
+        .collect();
+
+    // A healthy client gets served once the deadlines (300ms) reclaim
+    // the workers; the retry policy absorbs the wait.
+    let mut c = client(&handle);
+    c.put("after-loris", &sketch(0, 500)).unwrap();
+    drop(stallers);
+    // Close our keep-alive connection before the slot-leak check — an
+    // open client legitimately occupies a worker.
+    drop(c);
+    assert_still_healthy(&handle, "loris");
+    handle.join();
+}
+
+#[test]
+fn midstream_disconnect_sweep_leaks_nothing() {
+    let dir = TempDir::new("disconnect");
+    let handle = start(&dir, 2, 8);
+    let mut rng = SplitMix64::new(0xD15C0);
+
+    let body = encode_request(&Request::Merge {
+        name: "d".into(),
+        sketch: format::encode(&sketch(0, 3_000)),
+    });
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &body).unwrap();
+
+    for _ in 0..40 {
+        let cut = (rng.next_u64() as usize) % framed.len();
+        let conn = raw(&handle);
+        let mut conn = conn;
+        let _ = conn.write_all(&framed[..cut]);
+        // Hard drop: RST or FIN mid-frame at a seeded random offset.
+        drop(conn);
+    }
+    assert_still_healthy(&handle, "disconnect");
+    handle.join();
+}
+
+#[test]
+fn overload_sheds_with_busy_and_recovers() {
+    let dir = TempDir::new("overload");
+    // One worker, depth-2 queue: the 4th concurrent connection must shed.
+    // The server's read deadline is long here so the silent holders pin
+    // the worker (and keep the queue full) for the whole storm — with a
+    // short deadline the worker abandons them and drains the queue
+    // before the storm can observe a shed.
+    let handle = serve(
+        &dir.0,
+        "127.0.0.1:0",
+        ServeOptions { read_timeout: Duration::from_secs(2), ..opts(1, 2) },
+    )
+    .unwrap();
+
+    // Occupy the worker and fill the queue with idle connections (the
+    // worker blocks reading the first for up to its 300ms deadline).
+    let holders: Vec<TcpStream> = (0..3).map(|_| raw(&handle)).collect();
+    std::thread::sleep(Duration::from_millis(50)); // let the accept loop enqueue them
+
+    // Storm the server: open all eight connections at once (reading
+    // serially would let the worker's deadline drain the queue between
+    // attempts), then collect replies. Each should be an explicit BUSY
+    // frame, not silence.
+    let mut storm: Vec<TcpStream> = (0..8).map(|_| raw(&handle)).collect();
+    std::thread::sleep(Duration::from_millis(100)); // accept loop processes the burst
+    let mut sheds = 0;
+    for conn in &mut storm {
+        conn.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut reply = Vec::new();
+        let _ = conn.read_to_end(&mut reply);
+        if !reply.is_empty() {
+            let body = read_frame(&mut &reply[..], MAX_FRAME_LEN).unwrap().expect("framed");
+            if decode_response(&body).unwrap() == Response::Busy {
+                sheds += 1;
+            }
+        }
+    }
+    assert!(sheds >= 6, "overload must shed explicitly, saw {sheds}/8 BUSY");
+    drop(storm);
+
+    // A client with a tiny retry budget surfaces ClientError::Busy...
+    let mut impatient = Client::with_options(
+        handle.addr(),
+        ClientOptions {
+            retry: RetryPolicy::no_sleep().with_budget(Duration::ZERO),
+            ..ClientOptions::default()
+        },
+    );
+    match impatient.list() {
+        Err(ClientError::Busy | ClientError::Io(_)) => {}
+        other => panic!("expected Busy under storm, got {other:?}"),
+    }
+
+    // ...while a patient client's backoff outlives the stall: deadlines
+    // reclaim the worker, the queue drains, service resumes.
+    drop(holders);
+    let mut patient = client(&handle);
+    patient.put("after-storm", &sketch(0, 800)).unwrap();
+    let health = patient.health().unwrap();
+    assert!(health.shed >= 6, "shed counter records the storm: {health:?}");
+    drop(patient);
+    assert_still_healthy(&handle, "overload");
+    handle.join();
+}
+
+#[test]
+fn store_write_failure_degrades_to_read_only() {
+    let dir = TempDir::new("degrade");
+    let handle = start(&dir, 2, 8);
+    let mut c = client(&handle);
+    let s = sketch(0, 4_000);
+    c.put("kept", &s).unwrap();
+
+    // Yank the store directory out from under the daemon: every further
+    // append fails at open-by-path. (Permission tricks don't work under
+    // root; deletion does.)
+    std::fs::remove_dir_all(&dir.0).unwrap();
+
+    // The write that hits the dead disk reports a store error and trips
+    // degradation...
+    match c.put("lost", &sketch(0, 10)) {
+        Err(ClientError::Server { code: ErrCode::Store, message }) => {
+            assert!(message.contains("read-only"), "{message}");
+        }
+        other => panic!("expected a store error, got {other:?}"),
+    }
+    // ...after which writes are refused up front...
+    match c.put("lost2", &sketch(0, 10)) {
+        Err(ClientError::ReadOnly) => {}
+        other => panic!("expected ReadOnly, got {other:?}"),
+    }
+    match c.merge("kept", &sketch(0, 10)) {
+        Err(ClientError::ReadOnly) => {}
+        other => panic!("expected ReadOnly for merge, got {other:?}"),
+    }
+    // ...but acknowledged state keeps serving, and HEALTH tells the truth.
+    // (store_clean stays true here: fsck scans the on-disk files, and an
+    // absent log is vacuously clean — read_only is the operator signal.)
+    assert_eq!(c.get("kept").unwrap(), s, "reads survive degradation");
+    let health = c.health().unwrap();
+    assert!(health.read_only, "{health:?}");
+    assert_eq!(health.sketches, 1, "acknowledged state still served: {health:?}");
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_queued_connections_before_exit() {
+    let dir = TempDir::new("drain");
+    let handle = start(&dir, 1, 8);
+
+    // Stall the single worker, then queue two connections with requests
+    // already written.
+    let mut staller = raw(&handle);
+    staller.write_all(&[1]).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+
+    let queued: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut conn = raw(&handle);
+            write_frame(&mut conn, &encode_request(&Request::List)).unwrap();
+            conn
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(60)); // accept loop enqueues both
+
+    // Shutdown now: already-queued connections must still be answered.
+    handle.shutdown();
+    for mut conn in queued {
+        let body = read_frame(&mut conn, MAX_FRAME_LEN)
+            .expect("queued connection answered during drain")
+            .expect("reply frame, not EOF");
+        assert!(matches!(decode_response(&body).unwrap(), Response::Names(_)));
+    }
+    drop(staller);
+    handle.join();
+}
+
+#[test]
+fn kill_mid_put_leaves_store_salvageable() {
+    // In-process stand-in for SIGKILL-mid-PUT (the full process-level
+    // version lives in the CLI's serve_kill test): drop the daemon with
+    // a PUT frame half-written into the socket, then reopen the store
+    // directly and demand clean-or-salvaged.
+    let dir = TempDir::new("kill");
+    let handle = start(&dir, 2, 8);
+    let mut c = client(&handle);
+    let s = sketch(0, 5_000);
+    c.put("durable", &s).unwrap();
+
+    let body = encode_request(&Request::Put {
+        name: "torn".into(),
+        sketch: format::encode(&sketch(0, 2_000)),
+    });
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &body).unwrap();
+    let mut conn = raw(&handle);
+    conn.write_all(&framed[..framed.len() / 2]).unwrap();
+
+    // Abandon everything mid-exchange. join() only drains what the
+    // workers already hold; the half-written PUT never completes.
+    drop(conn);
+    handle.join();
+
+    let store = SketchStore::open(&dir.0).unwrap();
+    assert!(
+        store.recovery_report().is_clean(),
+        "a half-received PUT never touches the log: {:?}",
+        store.recovery_report()
+    );
+    assert_eq!(
+        store.get("durable").unwrap().unwrap(),
+        s,
+        "acknowledged write survives the abandon"
+    );
+}

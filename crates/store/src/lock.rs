@@ -1,0 +1,212 @@
+//! Single-writer lock file for store directories.
+//!
+//! The record log's durability discipline (truncate-to-known-good +
+//! append + fsync) assumes exactly one process mutates the WAL. Two
+//! concurrent appenders — a running `hmh serve` daemon and a stray
+//! `hmh store put` invocation, say — would interleave records and
+//! truncate each other's acknowledged writes. The lock file makes that
+//! impossible: a store directory on the real filesystem can be opened by
+//! one process at a time.
+//!
+//! Mechanism: `LOCK` inside the store directory, created with
+//! `O_CREAT|O_EXCL` (`create_new`) so acquisition is atomic, holding the
+//! owner's PID as decimal text. Dropping the guard removes the file.
+//!
+//! A crashed (or SIGKILLed) owner leaves the file behind; requiring
+//! manual cleanup would turn every daemon crash into an operator page.
+//! On Linux the PID is checked against `/proc`: a lock whose owner no
+//! longer exists is *stale* and is stolen (removed, then re-acquired
+//! atomically — if two processes race for a stale lock, `create_new`
+//! still admits only one). On platforms without `/proc` an existing lock
+//! is conservatively treated as held.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Lock file name inside a store directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Why a lock could not be acquired.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process holds the lock.
+    Held {
+        /// The lock file path.
+        path: PathBuf,
+        /// Owner PID as recorded in the lock file (`None` if unreadable).
+        pid: Option<u32>,
+    },
+    /// An I/O failure while acquiring or inspecting the lock.
+    Io(io::Error),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Held { path, pid: Some(pid) } => {
+                write!(
+                    f,
+                    "store is locked by running process {pid} ({}); \
+                     stop it before mutating the store from here",
+                    path.display()
+                )
+            }
+            LockError::Held { path, pid: None } => {
+                write!(f, "store is locked ({}): lock owner unknown", path.display())
+            }
+            LockError::Io(e) => write!(f, "store lock I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LockError::Io(e) => Some(e),
+            LockError::Held { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for LockError {
+    fn from(e: io::Error) -> Self {
+        LockError::Io(e)
+    }
+}
+
+/// A held store lock. Removing the file on drop releases it.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Acquire the lock for `dir` (which must already exist), stealing a
+    /// stale one when its owner is provably dead.
+    pub fn acquire(dir: &Path) -> Result<Self, LockError> {
+        let path = dir.join(LOCK_FILE);
+        // Two tries: the second runs only after a stale lock was removed,
+        // and still goes through the atomic create_new gate.
+        for _ in 0..2 {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    // Losing the PID (full disk, say) must not hand out a
+                    // half-written lock: give it back and fail.
+                    if let Err(e) = f
+                        .write_all(std::process::id().to_string().as_bytes())
+                        .and_then(|()| f.sync_all())
+                    {
+                        let _ = fs::remove_file(&path);
+                        return Err(LockError::Io(e));
+                    }
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let pid = read_owner(&path);
+                    match pid {
+                        Some(pid) if !process_alive(pid) => {
+                            // Stale: the owner is gone. Remove and retry
+                            // through create_new (racing stealers — only
+                            // one wins the re-create).
+                            let _ = fs::remove_file(&path);
+                        }
+                        _ => return Err(LockError::Held { path, pid }),
+                    }
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        // The stale lock reappeared after we removed it: someone else won
+        // the steal race and is alive.
+        Err(LockError::Held { pid: read_owner(&path), path })
+    }
+
+    /// The lock file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        // Best effort: a leaked file is reclaimed by staleness detection.
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+fn read_owner(path: &Path) -> Option<u32> {
+    let text = fs::read_to_string(path).ok()?;
+    text.trim().parse().ok()
+}
+
+/// Whether `pid` names a live process. On Linux, `/proc/<pid>` existence
+/// is the test. Elsewhere there is no dependency-free check, so report
+/// "alive" — an existing lock is then never stolen (conservative: a
+/// stray lock needs manual removal, but a live owner is never raced).
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hmh-lock-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn exclusive_both_acquisition_orders() {
+        let dir = tmpdir("order");
+        // Order 1: A holds, B must fail.
+        let a = StoreLock::acquire(&dir).unwrap();
+        let err = StoreLock::acquire(&dir).unwrap_err();
+        let LockError::Held { pid, .. } = err else { panic!("expected Held, got {err:?}") };
+        assert_eq!(pid, Some(std::process::id()), "our own live pid is the owner");
+        drop(a);
+        // Order 2: B holds (acquired after A released), A must fail.
+        let b = StoreLock::acquire(&dir).unwrap();
+        assert!(matches!(StoreLock::acquire(&dir), Err(LockError::Held { .. })));
+        drop(b);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop releases");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_is_stolen() {
+        let dir = tmpdir("stale");
+        // A pid that cannot exist: beyond every configurable pid_max.
+        fs::write(dir.join(LOCK_FILE), "4194305999").unwrap();
+        let lock = StoreLock::acquire(&dir).expect("dead owner's lock must be stolen");
+        assert_eq!(read_owner(lock.path()), Some(std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_owner_is_treated_as_held() {
+        let dir = tmpdir("garbled");
+        fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        let err = StoreLock::acquire(&dir).unwrap_err();
+        assert!(matches!(err, LockError::Held { pid: None, .. }), "{err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_messages_name_the_holder() {
+        let dir = tmpdir("msg");
+        let _a = StoreLock::acquire(&dir).unwrap();
+        let msg = StoreLock::acquire(&dir).unwrap_err().to_string();
+        assert!(msg.contains(&std::process::id().to_string()), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

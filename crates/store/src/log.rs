@@ -40,6 +40,13 @@ pub const RECORD_TRAILER: usize = 8;
 /// salvage scan will believe from a length field).
 pub const MAX_NAME_LEN: usize = 4096;
 
+/// Maximum record payload the store accepts — the format ceiling on an
+/// encoded sketch. Like [`MAX_NAME_LEN`], this caps what the salvage
+/// scan will believe from a length field: a corrupt or hostile header
+/// claiming a multi-gigabyte payload is rejected as corruption instead
+/// of driving a matching read or allocation.
+pub const MAX_PAYLOAD_LEN: usize = hmh_core::format::MAX_ENCODED_LEN;
+
 /// What a record does to its key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecordKind {
@@ -121,7 +128,7 @@ pub struct Salvage {
 /// bytes; the store validates both before calling.
 pub fn encode_record(name: &str, kind: RecordKind, payload: &[u8]) -> Vec<u8> {
     assert!(name.len() <= MAX_NAME_LEN, "name too long");
-    assert!(payload.len() <= u32::MAX as usize, "payload too large");
+    assert!(payload.len() <= MAX_PAYLOAD_LEN, "payload too large");
     let total = RECORD_HEADER + name.len() + payload.len() + RECORD_TRAILER;
     let mut out = Vec::with_capacity(total);
     out.extend_from_slice(&RECORD_MAGIC);
@@ -162,7 +169,7 @@ fn parse_at(buf: &[u8], pos: usize) -> Result<(Record, usize), Reject> {
     };
     let name_len = u16::from_le_bytes([rest[5], rest[6]]) as usize;
     let payload_len = u32::from_le_bytes([rest[7], rest[8], rest[9], rest[10]]) as usize;
-    if name_len > MAX_NAME_LEN {
+    if name_len > MAX_NAME_LEN || payload_len > MAX_PAYLOAD_LEN {
         return Err(Reject::Corrupt);
     }
     let total = RECORD_HEADER + name_len + payload_len + RECORD_TRAILER;
@@ -372,6 +379,64 @@ mod tests {
         assert!(s.report.is_clean());
         assert_eq!(s.records[0].payload, payload);
         assert_eq!(s.records[1].name, "after");
+    }
+
+    #[test]
+    fn oversized_payload_length_field_rejected_not_torn() {
+        // A header claiming a payload beyond the format ceiling is
+        // corruption, never a torn tail: no legitimate writer can have
+        // produced it, so the scan must not wait for gigabytes that will
+        // never arrive (or read them as a "record" if they do).
+        let mut bytes = rec("x", &[1; 8]);
+        bytes[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        let s = salvage_scan(&bytes);
+        assert_eq!(s.records.len(), 0);
+        assert_eq!(s.report.quarantined, 1);
+        assert!(!s.report.truncated_tail, "lying length is corruption, not a torn append");
+    }
+
+    #[test]
+    fn adversarial_corpus_never_panics_or_overallocates() {
+        // Hostile record streams: lying lengths, garbage headers,
+        // truncations, magic floods. Salvage must classify every one
+        // without panicking and without believing any length field it
+        // cannot verify against bytes actually present.
+        let good = rec("ok", &[7; 24]);
+        let mut corpus: Vec<Vec<u8>> = vec![
+            vec![0xff; 256],
+            RECORD_MAGIC.repeat(64),
+            {
+                // Magic + kind, then maximal u16 name and u32 payload lengths.
+                let mut b = RECORD_MAGIC.to_vec();
+                b.push(1);
+                b.extend_from_slice(&u16::MAX.to_le_bytes());
+                b.extend_from_slice(&u32::MAX.to_le_bytes());
+                b
+            },
+            {
+                // A plausible (in-range) lying length with no body behind it,
+                // mid-file: followed by a real record, it must resync.
+                let mut b = RECORD_MAGIC.to_vec();
+                b.push(2);
+                b.extend_from_slice(&64u16.to_le_bytes());
+                b.extend_from_slice(&1024u32.to_le_bytes());
+                b.extend_from_slice(&good);
+                b
+            },
+        ];
+        for cut in [1, 5, 7, 11, 12] {
+            corpus.push(good[..cut].to_vec());
+        }
+        for bytes in &corpus {
+            let s = salvage_scan(bytes);
+            for r in &s.records {
+                assert!(r.payload.len() <= MAX_PAYLOAD_LEN);
+            }
+        }
+        // The resync case recovers the trailing good record.
+        let resync = salvage_scan(&corpus[3]);
+        assert_eq!(resync.records.len(), 1);
+        assert_eq!(resync.records[0].name, "ok");
     }
 
     #[test]

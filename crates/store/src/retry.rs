@@ -1,11 +1,20 @@
-//! Bounded retry with exponential backoff and jitter.
+//! Jittered exponential backoff with attempt and total-time budgets.
 //!
 //! The store treats `Interrupted` / `WouldBlock` / `TimedOut` I/O errors
-//! as transient and retries them a bounded number of times; everything
-//! else surfaces immediately. Backoff doubles per attempt up to a cap,
-//! with deterministic SplitMix64 jitter so concurrent writers do not
-//! thundering-herd on the same schedule. The sleeper is injectable so
-//! fault-injection tests run at full speed.
+//! (and, for network callers, connection-level failures — see
+//! [`is_transient`]) as transient and retries them under *two* bounds:
+//! a maximum attempt count and a total backoff-time budget. Backoff
+//! doubles per attempt up to a cap, with deterministic SplitMix64 jitter
+//! so concurrent writers do not thundering-herd on the same schedule.
+//! The budget is accounted in *scheduled* (virtual) sleep time, not wall
+//! clock, so the same policy replays the same decisions in tests — and
+//! the no-op sleeper used by fault-injection runs exercises exactly the
+//! schedule production would follow. The sleeper is injectable so those
+//! tests run at full speed.
+//!
+//! The same policy is the client-side retry engine for `hmh-serve`: a
+//! BUSY shed or connect failure maps onto a transient `io::Error` and
+//! flows through [`RetryPolicy::run`] unchanged.
 
 use std::io;
 use std::time::Duration;
@@ -21,6 +30,10 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Ceiling any single delay is clamped to.
     pub max_delay: Duration,
+    /// Total-time budget: once the scheduled backoff sleeps would exceed
+    /// this, the policy stops retrying even with attempts left. Measured
+    /// in scheduled sleep time (deterministic), not wall clock.
+    pub budget: Duration,
     /// Jitter source; seeded deterministically by default.
     jitter: SplitMix64,
     /// Sleeper — `thread::sleep` in production, a no-op in tests.
@@ -33,6 +46,7 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_delay: Duration::from_millis(5),
             max_delay: Duration::from_millis(200),
+            budget: Duration::from_secs(2),
             jitter: SplitMix64::new(0x5265_7472_794a_6974), // "RetryJit"
             sleep: std::thread::sleep,
         }
@@ -41,6 +55,8 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Policy that never sleeps (for tests and fault-injection runs).
+    /// The schedule — and therefore the budget accounting — is identical
+    /// to the default; only the actual sleeping is elided.
     pub fn no_sleep() -> Self {
         Self { sleep: |_| {}, ..Self::default() }
     }
@@ -48,6 +64,20 @@ impl RetryPolicy {
     /// Policy that fails on the first error (no retries at all).
     pub fn none() -> Self {
         Self { max_attempts: 1, sleep: |_| {}, ..Self::default() }
+    }
+
+    /// This policy with a different jitter stream (callers that retry
+    /// concurrently — e.g. many clients backing off from one overloaded
+    /// server — should seed per-caller so schedules decorrelate).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter = SplitMix64::new(seed);
+        self
+    }
+
+    /// This policy with a different total-time budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Delay before retry number `attempt` (1-based): exponential base
@@ -61,15 +91,20 @@ impl RetryPolicy {
 
     /// Run `op`, retrying transient errors per this policy. Returns the
     /// first success, the first permanent error, or the last transient
-    /// error once attempts are exhausted.
+    /// error once the attempt count or the time budget is exhausted.
     pub fn run<T>(&mut self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
         let mut attempt = 0u32;
+        let mut slept = Duration::ZERO;
         loop {
             attempt += 1;
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) && attempt < self.max_attempts => {
                     let d = self.delay(attempt);
+                    match slept.checked_add(d) {
+                        Some(total) if total <= self.budget => slept = total,
+                        _ => return Err(e), // budget exhausted
+                    }
                     (self.sleep)(d);
                 }
                 Err(e) => return Err(e),
@@ -79,11 +114,21 @@ impl RetryPolicy {
 }
 
 /// Errors worth retrying: the kernel or a lower layer said "try again",
-/// not "this cannot work".
+/// not "this cannot work". The connection-level kinds never arise from
+/// file I/O, so including them costs the store nothing and lets network
+/// callers (the `hmh-serve` client) share the policy: a refused connect
+/// is a restarting daemon, a reset/abort mid-exchange is a dropped or
+/// deadlined peer — all worth another attempt against idempotent
+/// operations.
 pub fn is_transient(e: &io::Error) -> bool {
     matches!(
         e.kind(),
-        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
     )
 }
 
@@ -132,6 +177,38 @@ mod tests {
     }
 
     #[test]
+    fn time_budget_stops_retries_before_attempt_budget() {
+        // 100 attempts allowed, but only ~25ms of backoff budget: with a
+        // 10ms base delay the schedule stops after at most a couple of
+        // retries, long before the attempt count runs out.
+        let mut p = RetryPolicy::no_sleep();
+        p.max_attempts = 100;
+        p.base_delay = Duration::from_millis(10);
+        p.max_delay = Duration::from_millis(10);
+        p = p.with_budget(Duration::from_millis(25));
+        let mut calls = 0;
+        let r: io::Result<()> = p.run(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::TimedOut, "always"))
+        });
+        assert!(r.is_err());
+        // Each jittered delay is in [10ms, 15ms]; 25ms admits at most two.
+        assert!((2..=3).contains(&calls), "time budget must bound retries, got {calls} calls");
+    }
+
+    #[test]
+    fn zero_budget_means_no_retries() {
+        let mut p = RetryPolicy::no_sleep().with_budget(Duration::ZERO);
+        let mut calls = 0;
+        let r: io::Result<()> = p.run(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
     fn permanent_errors_fail_fast() {
         let mut p = RetryPolicy::no_sleep();
         let mut calls = 0;
@@ -141,6 +218,19 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn connection_failures_are_transient() {
+        for kind in [
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+        ] {
+            assert!(is_transient(&io::Error::new(kind, "net")), "{kind:?}");
+        }
+        assert!(!is_transient(&io::Error::new(io::ErrorKind::PermissionDenied, "no")));
+        assert!(!is_transient(&io::Error::new(io::ErrorKind::WriteZero, "torn")));
     }
 
     #[test]
@@ -155,5 +245,17 @@ mod tests {
         // Even at a huge attempt number, jittered delay stays ≤ 1.5×cap.
         let big = p.delay(60);
         assert!(big <= p.max_delay + p.max_delay / 2);
+    }
+
+    #[test]
+    fn jitter_seeds_decorrelate_schedules() {
+        let mut a = RetryPolicy::no_sleep().with_jitter_seed(1);
+        let mut b = RetryPolicy::no_sleep().with_jitter_seed(2);
+        let da: Vec<Duration> = (1..8).map(|i| a.delay(i)).collect();
+        let db: Vec<Duration> = (1..8).map(|i| b.delay(i)).collect();
+        assert_ne!(da, db, "different seeds must differ somewhere");
+        let mut a2 = RetryPolicy::no_sleep().with_jitter_seed(1);
+        let da2: Vec<Duration> = (1..8).map(|i| a2.delay(i)).collect();
+        assert_eq!(da, da2, "same seed replays the same schedule");
     }
 }

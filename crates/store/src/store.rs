@@ -27,6 +27,7 @@ use hmh_core::format::{self, FormatError};
 use hmh_core::HyperMinHash;
 
 use crate::backend::{atomic_write, Backend, FileBackend};
+use crate::lock::{LockError, StoreLock};
 use crate::log::{encode_record, salvage_scan, Record, RecordKind, RecoveryReport, MAX_NAME_LEN};
 use crate::retry::RetryPolicy;
 
@@ -68,6 +69,8 @@ pub enum StoreError {
     Format(FormatError),
     /// A sketch name was empty or too long.
     InvalidName(String),
+    /// Another process holds the store's lock file.
+    Locked(LockError),
 }
 
 impl fmt::Display for StoreError {
@@ -78,6 +81,7 @@ impl fmt::Display for StoreError {
             StoreError::InvalidName(name) => {
                 write!(f, "invalid sketch name {name:?}: must be 1..={MAX_NAME_LEN} bytes")
             }
+            StoreError::Locked(e) => write!(f, "{e}"),
         }
     }
 }
@@ -88,6 +92,7 @@ impl std::error::Error for StoreError {
             StoreError::Io(e) => Some(e),
             StoreError::Format(e) => Some(e),
             StoreError::InvalidName(_) => None,
+            StoreError::Locked(e) => Some(e),
         }
     }
 }
@@ -115,13 +120,33 @@ pub struct SketchStore<B: Backend> {
     wal_len: u64,
     report: RecoveryReport,
     options: StoreOptions,
+    /// Single-writer lock, held for real-filesystem stores ([`Self::open`]
+    /// / [`Self::open_opts`]); released when the store drops. In-memory
+    /// and fault-injected opens via [`Self::open_with`] skip it — they
+    /// are same-process by construction.
+    lock: Option<StoreLock>,
 }
 
 impl SketchStore<FileBackend> {
     /// Open (creating if absent) a store directory on the real
-    /// filesystem with default options.
+    /// filesystem with default options. Acquires the directory's
+    /// single-writer lock; fails with [`StoreError::Locked`] while
+    /// another live process holds it.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
-        Self::open_with(FileBackend, dir, StoreOptions::default())
+        Self::open_opts(dir, StoreOptions::default())
+    }
+
+    /// [`Self::open`] with explicit options.
+    pub fn open_opts(
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        FileBackend.ensure_dir(&dir)?;
+        let lock = StoreLock::acquire(&dir).map_err(StoreError::Locked)?;
+        let mut store = Self::open_with(FileBackend, dir, options)?;
+        store.lock = Some(lock);
+        Ok(store)
     }
 }
 
@@ -163,7 +188,7 @@ impl<B: Backend> SketchStore<B> {
         }
 
         let mut store =
-            Self { backend, dir, entries, wal_len, report: report.clone(), options };
+            Self { backend, dir, entries, wal_len, report: report.clone(), options, lock: None };
 
         if !report.is_clean() {
             // Keep the unparseable bytes for forensics (best effort —
@@ -445,6 +470,33 @@ mod tests {
         assert!(matches!(s.put("", &sketch(0..5)), Err(StoreError::InvalidName(_))));
         assert!(matches!(s.put_encoded("x", b"not a sketch"), Err(StoreError::Format(_))));
         assert_eq!(mem.len(&Path::new("/store").join(WAL_FILE)), None, "nothing written");
+    }
+
+    #[test]
+    fn file_store_is_single_writer_both_orders() {
+        let dir = std::env::temp_dir()
+            .join(format!("hmh-store-lock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Order 1: first opener holds, second fails fast with Locked.
+        let first = SketchStore::open(&dir).unwrap();
+        let err = SketchStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Locked(_)), "{err:?}");
+        assert!(err.to_string().contains("locked"), "{err}");
+        drop(first);
+
+        // Order 2: the released lock admits the other side; the original
+        // opener now fails in turn.
+        let second = SketchStore::open(&dir).unwrap();
+        assert!(matches!(SketchStore::open(&dir), Err(StoreError::Locked(_))));
+        drop(second);
+
+        // Mem-backed opens never lock: two live handles are fine.
+        let mem = MemBackend::new();
+        let a = mem_store(&mem);
+        let b = mem_store(&mem);
+        drop((a, b));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
