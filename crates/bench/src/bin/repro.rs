@@ -18,7 +18,7 @@
 //! ```
 
 use hmh_bench::experiments::{
-    approx, bbit, cardinality, cnf_ie, collisions, fig6, headline, ie_vs_hmh, space_sweep,
+    approx, bbit, cardinality, cnf_ie, collisions, fig6, headline, ie_vs_hmh, ingest, space_sweep,
     variance, Config,
 };
 use hmh_bench::Table;
@@ -78,6 +78,18 @@ fn main() {
             write_csv(dir, table, &mut used_slugs);
         }
     }
+    // The ingest sweep also publishes its machine-readable artifact.
+    if let Some(table) =
+        tables.iter().find(|t| t.title().starts_with("Parallel ingest throughput"))
+    {
+        let path = match &csv_dir {
+            Some(dir) => format!("{dir}/BENCH_ingest.json"),
+            None => "BENCH_ingest.json".to_string(),
+        };
+        std::fs::write(&path, ingest::to_json(table))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
 }
 
 fn run_experiment(name: &str, cfg: &Config) -> Vec<Table> {
@@ -92,6 +104,7 @@ fn run_experiment(name: &str, cfg: &Config) -> Vec<Table> {
         "bbit" => bbit::run(cfg),
         "space-sweep" => vec![space_sweep::run(cfg)],
         "cardinality" => vec![cardinality::run(cfg)],
+        "ingest" => vec![ingest::run(cfg)],
         "all" => {
             let mut out = vec![fig6::run(cfg)];
             out.extend(headline::run(cfg));
@@ -103,6 +116,7 @@ fn run_experiment(name: &str, cfg: &Config) -> Vec<Table> {
             out.extend(bbit::run(cfg));
             out.push(space_sweep::run(cfg));
             out.push(cardinality::run(cfg));
+            out.push(ingest::run(cfg));
             out
         }
         other => die(&format!("unknown experiment {other:?}\n{USAGE}")),
@@ -150,5 +164,7 @@ experiments:
   bbit         S1.3-1.4 b-bit MinHash accuracy and non-composability
   space-sweep  byte budget x r trade-off surface
   cardinality  Algorithm 3 decade sweep with estimator ablations
+  ingest       parallel sharded ingest throughput vs. a sequential build
+               (also writes BENCH_ingest.json)
   all          everything above
 ";

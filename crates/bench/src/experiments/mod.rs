@@ -10,6 +10,7 @@ pub mod collisions;
 pub mod fig6;
 pub mod headline;
 pub mod ie_vs_hmh;
+pub mod ingest;
 pub mod space_sweep;
 pub mod variance;
 

@@ -81,6 +81,8 @@ commands:
           holds the store lock until a client sends shutdown
   client  ADDR OP [ARG...]    talk to a running daemon; OP is one of
             put NAME FILE / merge NAME FILE / get NAME OUT
+            batch NAME FILE [-p P] [-q Q] [-r R] [--seed S] [--alg A]
+                              ingest lines of FILE into NAME server-side
             card NAME / jaccard A B / list / health / shutdown
 ";
 
@@ -135,6 +137,50 @@ fn parse_algorithm(name: &str) -> Result<HashAlgorithm, CliError> {
         "splitmix" => HashAlgorithm::SplitMix,
         other => return Err(CliError::usage(format!("unknown algorithm {other:?}"))),
     })
+}
+
+/// Parse the shared sketch-configuration flags (`-p/-q/-r/--seed/--alg`)
+/// with the same defaults as `sketch`, for operations that create a
+/// sketch elsewhere (the daemon's batched ingest).
+fn parse_sketch_config(args: &[String]) -> Result<(HmhParams, RandomOracle), CliError> {
+    let (mut p, mut q, mut r) = (12u32, 6u32, 10u32);
+    let mut seed = 0u64;
+    let mut algorithm = HashAlgorithm::Murmur3;
+    let mut i = 0;
+    let need = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i).cloned().ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-p" => {
+                i += 1;
+                p = need(args, i, "-p")?.parse().map_err(|e| CliError::usage(format!("-p: {e}")))?;
+            }
+            "-q" => {
+                i += 1;
+                q = need(args, i, "-q")?.parse().map_err(|e| CliError::usage(format!("-q: {e}")))?;
+            }
+            "-r" => {
+                i += 1;
+                r = need(args, i, "-r")?.parse().map_err(|e| CliError::usage(format!("-r: {e}")))?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = need(args, i, "--seed")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--seed: {e}")))?;
+            }
+            "--alg" => {
+                i += 1;
+                algorithm = parse_algorithm(&need(args, i, "--alg")?)?;
+            }
+            other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
+        }
+        i += 1;
+    }
+    let params =
+        HmhParams::new(p, q, r).map_err(|e| CliError::usage(format!("bad parameters: {e}")))?;
+    Ok((params, RandomOracle::new(algorithm, seed)))
 }
 
 fn cmd_sketch(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -549,6 +595,25 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             client.merge(name, &sketch).map_err(|e| fail("merge", e))?;
             write_out(out, format!("{addr}: merged into {name}\n"))
         }
+        ("batch", [name, file, flags @ ..]) => {
+            let (params, oracle) = parse_sketch_config(flags)?;
+            let content = std::fs::read_to_string(file)
+                .map_err(|e| CliError::runtime(format!("cannot read {file}: {e}")))?;
+            // Same item discipline as `sketch`: trimmed, non-empty lines.
+            // A string and its bytes hash identically, so batch-ingesting
+            // a file server-side equals sketching it locally.
+            let items: Vec<&[u8]> = content
+                .lines()
+                .map(str::trim)
+                .filter(|line| !line.is_empty())
+                .map(str::as_bytes)
+                .collect();
+            client.batch_put(name, params, oracle, &items).map_err(|e| fail("batch", e))?;
+            write_out(
+                out,
+                format!("{addr}: ingested {} items into {name} ({params})\n", items.len()),
+            )
+        }
         ("get", [name, output]) => {
             let sketch = client.get(name).map_err(|e| fail("get", e))?;
             save(output, &sketch)?;
@@ -904,6 +969,45 @@ mod tests {
         handle.join();
         // The daemon released the lock; direct store access works again.
         assert!(run_to_string(&["store", &sdir, "list"]).unwrap().contains("2 sketches"));
+    }
+
+    #[test]
+    fn client_batch_ingests_lines_server_side() {
+        let dir = TempDir::new("batch");
+        // Local reference: `sketch` over the data file.
+        let local = build(&dir, "ref", 0, 5_000);
+        let data = dir.path("ref.txt");
+        let sdir = dir.path("servedb");
+
+        let handle = hmh_serve::serve(
+            &sdir,
+            "127.0.0.1:0",
+            hmh_serve::ServeOptions { workers: 2, ..hmh_serve::ServeOptions::default() },
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        // Server-side ingest of the same lines with the same parameters
+        // must produce the identical sketch, byte for byte.
+        let msg = run_to_string(&[
+            "client", &addr, "batch", "ev", &data, "-p", "11", "-q", "6", "-r", "10",
+        ])
+        .unwrap();
+        assert!(msg.contains("5000 items"), "{msg}");
+        let fetched = dir.path("fetched.hmh");
+        run_to_string(&["client", &addr, "get", "ev", &fetched]).unwrap();
+        assert_eq!(
+            std::fs::read(&fetched).unwrap(),
+            std::fs::read(&local).unwrap(),
+            "server-side batch ingest must equal a local sequential build"
+        );
+
+        // A second batch with conflicting parameters is refused.
+        let err = run_to_string(&["client", &addr, "batch", "ev", &data, "-p", "8"]).unwrap_err();
+        assert!(err.message.contains("batch"), "{err:?}");
+
+        run_to_string(&["client", &addr, "shutdown"]).unwrap();
+        handle.join();
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl std::error::Error for FormatError {
     }
 }
 
-fn algorithm_to_byte(alg: HashAlgorithm) -> u8 {
+/// The `HMH1` header byte for a hash algorithm (also used by the serve
+/// protocol's BATCH_PUT sketch-configuration fields).
+pub fn algorithm_to_byte(alg: HashAlgorithm) -> u8 {
     match alg {
         HashAlgorithm::Murmur3 => 0,
         HashAlgorithm::Sha1 => 1,
@@ -116,7 +118,8 @@ fn algorithm_to_byte(alg: HashAlgorithm) -> u8 {
     }
 }
 
-fn algorithm_from_byte(b: u8) -> Result<HashAlgorithm, FormatError> {
+/// The hash algorithm for an `HMH1` header byte.
+pub fn algorithm_from_byte(b: u8) -> Result<HashAlgorithm, FormatError> {
     Ok(match b {
         0 => HashAlgorithm::Murmur3,
         1 => HashAlgorithm::Sha1,

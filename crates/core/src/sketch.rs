@@ -73,6 +73,27 @@ impl HyperMinHash {
         self.observe(bucket, counter, mantissa as u32);
     }
 
+    /// Insert a batch of items (the bulk-ingest fast path).
+    ///
+    /// Hoists the parameter loads (`p`, `cap`, `r`) and the oracle out of
+    /// the per-item loop so the hot path is hash → slice → observe with no
+    /// repeated struct reads. Bit-for-bit equivalent to calling
+    /// [`insert`](Self::insert) on each item in order — register updates
+    /// commute (max is associative and commutative), so batching can never
+    /// change the resulting sketch.
+    pub fn insert_batch<T: HashableItem>(&mut self, items: &[T]) {
+        let oracle = self.oracle;
+        let p = self.params.p();
+        let cap = self.params.cap();
+        let r = self.params.r();
+        for item in items {
+            let digest = oracle.digest(item);
+            let bucket = digest.take_bits(0, p) as usize;
+            let (counter, mantissa) = digest.rho_sigma(p, cap, r);
+            self.observe(bucket, counter, mantissa as u32);
+        }
+    }
+
     /// Record a register observation directly (used by the simulator and
     /// by deserialization-free bulk loads).
     ///
@@ -286,6 +307,23 @@ mod tests {
         // Empty is the identity.
         let empty = HyperMinHash::new(p);
         assert_eq!(a.union(&empty).unwrap(), a);
+    }
+
+    #[test]
+    fn insert_batch_matches_insert_loop() {
+        let p = params();
+        let items: Vec<u64> = (0..500).map(|i| i * 7 + 13).collect();
+        let mut batched = HyperMinHash::new(p);
+        batched.insert_batch(&items);
+        let mut looped = HyperMinHash::new(p);
+        for item in &items {
+            looped.insert(item);
+        }
+        assert_eq!(batched, looped);
+        // Empty batch is a no-op.
+        let before = batched.clone();
+        batched.insert_batch(&[] as &[u64]);
+        assert_eq!(batched, before);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Property suite for the merge algebra the parallel ingest engine
+//! leans on.
+//!
+//! `hmh-ingest` shards a stream across threads and folds the shards with
+//! [`HyperMinHash::merge`]; its bit-for-bit determinism claim is exactly
+//! the statement that `(sketches, merge)` is a bounded join-semilattice
+//! whose join is a homomorphic image of set union. Each law below is one
+//! of the obligations of that claim, checked over a deterministic seeded
+//! sweep in the style of the workspace `tests/properties.rs` harness.
+
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_hash::RandomOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases per property (matches the workspace property harness).
+const CASES: u64 = 64;
+
+/// Deterministic input generator for one property case.
+struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    fn new(property: u64, case: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(property.wrapping_mul(0x9e37_79b9) ^ case) }
+    }
+
+    /// Valid `HmhParams` spanning degenerate (`p = 0`) to mid-size
+    /// sketches.
+    fn params(&mut self) -> HmhParams {
+        let p = self.rng.gen_range(0u32..=8);
+        let q = self.rng.gen_range(2u32..=6);
+        let r = self.rng.gen_range(1u32..=12);
+        HmhParams::new(p, q, r).expect("ranges are valid")
+    }
+
+    /// A seeded oracle shared by every sketch of one case (merging is
+    /// only defined between sketches of the same oracle).
+    fn oracle(&mut self) -> RandomOracle {
+        RandomOracle::with_seed(self.rng.gen())
+    }
+
+    /// Item vector of length 0..400 with arbitrary u64 items.
+    fn items(&mut self) -> Vec<u64> {
+        let len = self.rng.gen_range(0usize..400);
+        (0..len).map(|_| self.rng.gen()).collect()
+    }
+}
+
+/// Run `body` for `CASES` deterministic cases of property `id`.
+fn check(id: u64, mut body: impl FnMut(&mut Gen)) {
+    for case in 0..CASES {
+        let mut g = Gen::new(id, case);
+        body(&mut g);
+    }
+}
+
+fn build(params: HmhParams, oracle: RandomOracle, items: &[u64]) -> HyperMinHash {
+    let mut s = HyperMinHash::with_oracle(params, oracle);
+    for item in items {
+        s.insert(item);
+    }
+    s
+}
+
+/// In-place merge of a clone — the fold step `hmh-ingest` performs.
+fn merged(a: &HyperMinHash, b: &HyperMinHash) -> HyperMinHash {
+    let mut out = a.clone();
+    out.merge(b).expect("same params and oracle");
+    out
+}
+
+/// merge is commutative: the shard join order never matters.
+#[test]
+fn merge_is_commutative() {
+    check(101, |g| {
+        let (params, oracle) = (g.params(), g.oracle());
+        let a = build(params, oracle, &g.items());
+        let b = build(params, oracle, &g.items());
+        assert_eq!(merged(&a, &b), merged(&b, &a));
+    });
+}
+
+/// merge is associative: any shard grouping folds to the same sketch.
+#[test]
+fn merge_is_associative() {
+    check(102, |g| {
+        let (params, oracle) = (g.params(), g.oracle());
+        let a = build(params, oracle, &g.items());
+        let b = build(params, oracle, &g.items());
+        let c = build(params, oracle, &g.items());
+        assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    });
+}
+
+/// merge is idempotent: re-merging a shard is a no-op.
+#[test]
+fn merge_is_idempotent() {
+    check(103, |g| {
+        let (params, oracle) = (g.params(), g.oracle());
+        let a = build(params, oracle, &g.items());
+        assert_eq!(merged(&a, &a), a);
+    });
+}
+
+/// The empty sketch is the identity — merging in an idle worker's
+/// untouched shard changes nothing, on either side.
+#[test]
+fn empty_sketch_is_the_identity() {
+    check(104, |g| {
+        let (params, oracle) = (g.params(), g.oracle());
+        let a = build(params, oracle, &g.items());
+        let empty = HyperMinHash::with_oracle(params, oracle);
+        assert_eq!(merged(&a, &empty), a);
+        assert_eq!(merged(&empty, &a), a);
+    });
+}
+
+/// merge(a, b) equals building one sketch from the union of the item
+/// streams — the homomorphism that makes sharded ingest lossless.
+#[test]
+fn merge_equals_build_from_union() {
+    check(105, |g| {
+        let (params, oracle) = (g.params(), g.oracle());
+        let xs = g.items();
+        let ys = g.items();
+        let a = build(params, oracle, &xs);
+        let b = build(params, oracle, &ys);
+        let mut all = xs;
+        all.extend(ys);
+        assert_eq!(merged(&a, &b), build(params, oracle, &all));
+    });
+}
+
+/// In-place merge and the pure `union` constructor agree.
+#[test]
+fn merge_agrees_with_union() {
+    check(106, |g| {
+        let (params, oracle) = (g.params(), g.oracle());
+        let a = build(params, oracle, &g.items());
+        let b = build(params, oracle, &g.items());
+        assert_eq!(merged(&a, &b), a.union(&b).expect("same params and oracle"));
+    });
+}
+
+/// `insert_batch` — the worker fast path — is exactly an insert loop,
+/// for every way of slicing a stream into batches.
+#[test]
+fn insert_batch_is_an_insert_loop_under_any_batching() {
+    check(107, |g| {
+        let (params, oracle) = (g.params(), g.oracle());
+        let items = g.items();
+        let reference = build(params, oracle, &items);
+        let mut batched = HyperMinHash::with_oracle(params, oracle);
+        let mut rest: &[u64] = &items;
+        while !rest.is_empty() {
+            let take = g.rng.gen_range(1usize..=rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            batched.insert_batch(chunk);
+            rest = tail;
+        }
+        assert_eq!(batched, reference);
+    });
+}
+
+/// Sketches with different parameters or different oracles refuse to
+/// merge instead of silently combining incompatible registers.
+#[test]
+fn incompatible_sketches_refuse_to_merge() {
+    check(108, |g| {
+        let oracle = g.oracle();
+        let a_params = HmhParams::new(4, 4, 6).expect("valid");
+        let b_params = HmhParams::new(5, 4, 6).expect("valid");
+        let mut a = build(a_params, oracle, &g.items());
+        let b = build(b_params, oracle, &g.items());
+        assert!(a.merge(&b).is_err(), "params mismatch must be rejected");
+
+        let c = build(a_params, RandomOracle::with_seed(g.rng.gen()), &g.items());
+        assert!(a.merge(&c).is_err(), "oracle mismatch must be rejected");
+    });
+}

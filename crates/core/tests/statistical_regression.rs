@@ -1,0 +1,135 @@
+//! Statistical regression tests against the paper's collision theory.
+//!
+//! Fully deterministic (seeded oracles, fixed item ranges), so a failure
+//! is always a real regression, never flake. Each test measures register
+//! collisions between sketches of disjoint sets and holds the
+//! implementation to three results of the paper:
+//!
+//! * **Lemma 4 / Algorithm 5** — the exact expectation `Eγ(n, m)`
+//!   (`collisions::expected_collisions`): the measured mean must sit
+//!   within 3σ of it, with σ derived from the Theorem 2 variance bound.
+//! * **Theorem 1** — the closed-form upper bound must dominate both the
+//!   exact expectation and the measurement, and by the *right* margin:
+//!   the paper calls the constant 5 "a gross overestimate", and the
+//!   bound-to-exact ratio is pinned to a window so that perturbing the
+//!   constant (or the exponent) moves the ratio out of range.
+//! * **Theorem 2** — `Var(C) ≤ (EC)² + EC`: the sample variance of the
+//!   collision count must respect the bound.
+
+use hmh_core::collisions::bounds::{theorem1_bound, theorem2_variance_bound};
+use hmh_core::collisions::exact::expected_collisions;
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_hash::RandomOracle;
+use hmh_math::Welford;
+
+/// Trials per parameter set. Each trial re-seeds the oracle, which
+/// re-randomizes every hash while keeping the run reproducible.
+const TRIALS: u64 = 96;
+
+/// Items per side; sits on the collision plateau (well inside the LogLog
+/// counter range) for every parameter set below.
+const N_ITEMS: u64 = 1500;
+
+/// Small (p, q, r) grid: enough registers to collide measurably, small
+/// enough that 96 trials stay fast. Chosen so expected collisions span
+/// roughly 0.3 to 3 per trial.
+fn grid() -> [HmhParams; 3] {
+    [
+        HmhParams::new(6, 4, 4).expect("valid"),
+        HmhParams::new(7, 4, 6).expect("valid"),
+        HmhParams::new(8, 5, 4).expect("valid"),
+    ]
+}
+
+/// Sketch two disjoint item sets under one oracle and count buckets with
+/// identical non-empty registers — the collision count `C` of the paper.
+fn collision_count(params: HmhParams, seed: u64) -> u64 {
+    let oracle = RandomOracle::with_seed(seed);
+    let mut a = HyperMinHash::with_oracle(params, oracle);
+    let mut b = HyperMinHash::with_oracle(params, oracle);
+    for i in 0..N_ITEMS {
+        a.insert(&i);
+        b.insert(&(i + 0x4000_0000));
+    }
+    (0..params.num_buckets())
+        .filter(|&bucket| a.word(bucket) != 0 && a.word(bucket) == b.word(bucket))
+        .count() as u64
+}
+
+/// Collision statistics over the trial sweep for one parameter set.
+fn measure(params: HmhParams, salt: u64) -> Welford {
+    let mut stats = Welford::new();
+    for t in 0..TRIALS {
+        stats.add(collision_count(params, salt.wrapping_add(t)) as f64);
+    }
+    stats
+}
+
+/// The measured mean collision count must sit within 3σ of Lemma 4's
+/// exact `Eγ(n, m)`, where σ is the standard error of the mean under the
+/// Theorem 2 variance bound. Perturbing the exact formula (a boundary
+/// off by one, a dropped register class) shifts `EC` by far more than
+/// the window.
+#[test]
+fn collision_rate_matches_lemma4_within_3_sigma() {
+    for (k, params) in grid().into_iter().enumerate() {
+        let ec = expected_collisions(params, N_ITEMS as f64, N_ITEMS as f64);
+        let stats = measure(params, 0x51A7_0000 + (k as u64) * 1000);
+        let sigma_mean = (theorem2_variance_bound(ec) / TRIALS as f64).sqrt();
+        assert!(
+            (stats.mean() - ec).abs() <= 3.0 * sigma_mean,
+            "{params}: measured mean {} vs Lemma 4 EC {ec} (3σ = {})",
+            stats.mean(),
+            3.0 * sigma_mean
+        );
+    }
+}
+
+/// Theorem 1 must dominate — and by the documented margin. On the
+/// plateau the n-term is negligible, so the bound-to-exact ratio is
+/// essentially `5 / (2^r · γ_bucket)` ≈ 27.7 on this grid; the (24, 32)
+/// window fails if the constant 5 drifts by even ±1 or the exponent
+/// `p + cap − 1 + r` changes.
+#[test]
+fn theorem1_dominates_with_the_documented_slack() {
+    for (k, params) in grid().into_iter().enumerate() {
+        let ec = expected_collisions(params, N_ITEMS as f64, N_ITEMS as f64);
+        let bound = theorem1_bound(params, N_ITEMS as f64);
+        assert!(ec <= bound, "{params}: exact {ec} above bound {bound}");
+
+        let ratio = bound / ec;
+        assert!(
+            (24.0..32.0).contains(&ratio),
+            "{params}: bound/exact ratio {ratio} outside the pinned window"
+        );
+
+        // The measurement itself must also sit below the bound.
+        let stats = measure(params, 0x51A7_1000 + (k as u64) * 1000);
+        assert!(
+            stats.mean() < bound,
+            "{params}: measured mean {} above Theorem 1 bound {bound}",
+            stats.mean()
+        );
+    }
+}
+
+/// Theorem 2: the sample variance of `C` respects `(EC)² + EC`. The true
+/// variance is near-Poisson (≈ EC), well under the bound, so a modest
+/// tolerance for 96-trial sampling noise still leaves the assertion
+/// sharp enough to catch variance-inflating register bugs.
+#[test]
+fn collision_variance_respects_theorem2() {
+    for (k, params) in grid().into_iter().enumerate() {
+        let ec = expected_collisions(params, N_ITEMS as f64, N_ITEMS as f64);
+        let var_bound = theorem2_variance_bound(ec);
+        let stats = measure(params, 0x51A7_2000 + (k as u64) * 1000);
+        assert!(
+            stats.sample_variance() <= var_bound * 1.5,
+            "{params}: sample variance {} vs Theorem 2 bound {var_bound}",
+            stats.sample_variance()
+        );
+        // Collisions do occur at these parameters; a zero variance would
+        // mean the counting harness is broken.
+        assert!(stats.sample_variance() > 0.0, "{params}: degenerate sweep");
+    }
+}

@@ -1,0 +1,202 @@
+//! Golden-vector tests pinning every hash primitive to external references.
+//!
+//! The in-module unit tests validate structure (avalanche, bijectivity,
+//! streaming splits); this suite pins exact outputs so a silent
+//! re-derivation of a constant or a tail-handling tweak cannot slip
+//! through. Sources:
+//!
+//! - SHA-1: FIPS 180-2 Appendix A/B vectors, cross-checked against
+//!   OpenSSL's implementation (via Python `hashlib`).
+//! - xxHash64: the official string vectors published with the reference
+//!   implementation ("" / "a" / "abc" and the fox pangram, seed 0).
+//! - Murmur3 x64 128: the `mmh3` library's published `"foo"` vector and
+//!   the widely-quoted pangram digest `6c1b07bc7bbc4be347939ac4a93c437a`;
+//!   remaining rows were cross-checked against an independent
+//!   transcription of Appleby's reference that reproduces both anchors.
+//! - SplitMix64: the Steele–Lea–Flood OOPSLA 2014 constants and the
+//!   seed-0 output stream used as reference vectors by xoshiro.
+
+use hmh_hash::murmur3::murmur3_x64_128;
+use hmh_hash::sha1::{sha1, sha1_128, Sha1};
+use hmh_hash::splitmix::{mix64, unmix64, SplitMix64, GOLDEN_GAMMA};
+use hmh_hash::xxhash::xxh64;
+use hmh_hash::Digest128;
+
+fn hex(d: &[u8]) -> String {
+    d.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+// ---------------------------------------------------------------- SHA-1
+
+/// FIPS 180-2 Appendix A: one-block, two-block and empty messages.
+#[test]
+fn sha1_fips_180_vectors() {
+    let vectors: [(&[u8], &str); 4] = [
+        (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+        (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+              ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "a49b2446a02c645bf419f995b67091253a04a259",
+        ),
+    ];
+    for (msg, want) in vectors {
+        assert_eq!(hex(&sha1(msg)), want, "sha1({:?})", String::from_utf8_lossy(msg));
+    }
+}
+
+/// FIPS 180-2 Appendix A.3: one million repetitions of `a`, fed through
+/// the streaming interface in uneven chunks to also pin block buffering.
+#[test]
+fn sha1_fips_million_a_streamed_unevenly() {
+    let mut h = Sha1::new();
+    let mut fed = 0usize;
+    // Chunk sizes cycle through awkward values around the 64-byte block.
+    for (i, chunk) in [1usize, 63, 64, 65, 127, 6000].iter().cycle().enumerate() {
+        let take = (*chunk).min(1_000_000 - fed);
+        h.update(&[b'a'].repeat(take));
+        fed += take;
+        if fed == 1_000_000 {
+            assert!(i < 1_000_000, "cycle terminated");
+            break;
+        }
+    }
+    assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+/// The seeded oracle truncation: seed as 8 big-endian prefix bytes, top
+/// 128 bits of the digest. Vectors derived with OpenSSL SHA-1.
+#[test]
+fn sha1_128_keyed_prefix_vectors() {
+    let vectors: [(&[u8], u64, u64, u64); 3] = [
+        (b"", 0x0, 0x05fe_4057_5316_6f12, 0x5559_e7c9_ac55_8654),
+        (b"x", 0x1, 0xccb9_7a4f_de41_77b3, 0x8bfe_f2f6_97c3_3b69),
+        (b"hyperminhash", 0x0123_4567_89ab_cdef, 0x3495_308e_572d_ab45, 0x62b1_a728_5ae4_25c2),
+    ];
+    for (data, seed, hi, lo) in vectors {
+        assert_eq!(sha1_128(data, seed), Digest128::new(hi, lo));
+        // The construction is literally sha1(seed_be || data) truncated.
+        let mut prefixed = seed.to_be_bytes().to_vec();
+        prefixed.extend_from_slice(data);
+        let full = sha1(&prefixed);
+        assert_eq!(sha1_128(data, seed).hi().to_be_bytes(), full[0..8]);
+        assert_eq!(sha1_128(data, seed).lo().to_be_bytes(), full[8..16]);
+    }
+}
+
+// ------------------------------------------------------------- xxHash64
+
+/// Official reference-string vectors (seed 0) plus cross-checked seeded
+/// rows covering every tail class: empty, <4, <8, <32 and >=32 bytes.
+#[test]
+fn xxh64_reference_vectors() {
+    let vectors: [(&[u8], u64, u64); 8] = [
+        (b"", 0x0, 0xef46_db37_51d8_e999),
+        (b"a", 0x0, 0xd24e_c4f1_a98c_6e5b),
+        (b"abc", 0x0, 0x44bc_2cf5_ad77_0999),
+        (b"foo", 0x0, 0x33bf_00a8_59c4_ba3f),
+        (b"The quick brown fox jumps over the lazy dog", 0x0, 0x0b24_2d36_1fda_71bc),
+        (b"The quick brown fox jumps over the lazy dog.", 0x0, 0x44ad_3370_5751_ad73),
+        (b"hyperminhash", 0x9747_b28c, 0xfc30_12d5_6b8d_6070),
+        (
+            b"\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f",
+            0x0,
+            0x44b6_ef2f_b841_69f7,
+        ),
+    ];
+    for (data, seed, want) in vectors {
+        assert_eq!(xxh64(data, seed), want, "xxh64({data:?}, {seed:#x})");
+    }
+}
+
+// ---------------------------------------------------- Murmur3 x64 128
+
+/// Published anchors: the `mmh3` library's `"foo"` vector (h1, h2 as the
+/// two little-endian output words) and the pangram whose 128-bit hex form
+/// `6c1b07bc7bbc4be347939ac4a93c437a` circulates as the standard check.
+/// The remaining rows come from an independent transcription of the
+/// reference algorithm that reproduces both anchors, and cover: an exact
+/// one-block input, a block+tail input with a 64-bit seed, and the
+/// classic `0x9747b28c` demo seed.
+#[test]
+fn murmur3_x64_128_reference_vectors() {
+    let block16: Vec<u8> = (0u8..16).collect();
+    let block31: Vec<u8> = (0u8..31).collect();
+    let vectors: [(&[u8], u64, u64, u64); 6] = [
+        (b"foo", 0x0, 0xe271_8657_01f5_4561, 0x7eaf_87e4_2bba_7d87),
+        (
+            b"The quick brown fox jumps over the lazy dog",
+            0x0,
+            0xe34b_bc7b_bc07_1b6c,
+            0x7a43_3ca9_c49a_9347,
+        ),
+        (
+            b"The quick brown fox jumps over the lazy dog.",
+            0x0,
+            0xcd99_481f_9ee9_02c9,
+            0x695d_a1a3_8987_b6e7,
+        ),
+        (b"hyperminhash", 0x9747_b28c, 0xf9c2_a0cd_3f28_7238, 0x5890_8f35_d9c0_0f31),
+        (&block16, 0x0, 0x4449_24b5_9190_3f30, 0xab90_6456_762f_e845),
+        (&block31, 0x1234_5678_9abc_def0, 0xa853_5cfb_cf1e_8b90, 0x6bf5_f967_3ec6_6b0a),
+    ];
+    for (data, seed, h1, h2) in vectors {
+        assert_eq!(
+            murmur3_x64_128(data, seed),
+            Digest128::new(h1, h2),
+            "murmur3({data:?}, {seed:#x})"
+        );
+    }
+    // The mmh3 anchor in its native decimal form, to make the
+    // correspondence with the published value unmistakable.
+    let foo = murmur3_x64_128(b"foo", 0);
+    assert_eq!(foo.hi(), 16316970633193145697);
+    assert_eq!(foo.lo(), 9128664383759220103);
+}
+
+// ----------------------------------------------------------- SplitMix64
+
+/// The Steele–Lea–Flood constants, written out literally: the golden
+/// gamma and both finalizer multipliers. A typo in any of them changes
+/// these assertions, not just downstream statistics.
+#[test]
+fn splitmix64_steele_constants() {
+    assert_eq!(GOLDEN_GAMMA, 0x9e37_79b9_7f4a_7c15);
+    // mix64 re-derived inline from the published finalizer, applied to a
+    // spread of inputs; agreement on all of them pins both multipliers
+    // and all three shift amounts.
+    let reference = |mut z: u64| -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for z in [0u64, 1, 2, u64::MAX, GOLDEN_GAMMA, 0xdead_beef_cafe_f00d] {
+        assert_eq!(mix64(z), reference(z), "mix64({z:#x})");
+    }
+}
+
+/// The canonical seed-0 stream (the vectors the xoshiro family uses to
+/// validate SplitMix64 implementations).
+#[test]
+fn splitmix64_seed_zero_stream() {
+    let mut g = SplitMix64::new(0);
+    assert_eq!(g.next_u64(), 0xe220_a839_7b1d_cdaf);
+    assert_eq!(g.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    assert_eq!(g.next_u64(), 0x06c4_5d18_8009_454f);
+}
+
+/// Bijectivity across a deterministic sweep, and the O(1) `derive`
+/// shortcut against the materialized stream.
+#[test]
+fn splitmix64_bijection_and_derive() {
+    let mut g = SplitMix64::new(0x5eed);
+    for i in 0..256u64 {
+        let x = g.next_u64();
+        assert_eq!(unmix64(mix64(x)), x);
+        assert_eq!(SplitMix64::derive(0x5eed, i), x);
+    }
+}

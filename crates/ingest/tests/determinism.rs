@@ -1,0 +1,126 @@
+//! The ingest engine's headline contract: parallel sharded ingest
+//! serializes **byte-identical** to a sequential build — across seeds,
+//! thread counts, and batch sizes.
+//!
+//! Union is a bucket-wise register max (Algorithm 2), which is associative,
+//! commutative and idempotent, so no partitioning of the stream and no
+//! scheduler interleaving can change the merged result. These tests pin
+//! that down at the strongest possible level: equality of the canonical
+//! HMH1 wire encoding, not just estimator agreement.
+//!
+//! CI runs this file once per worker count with `HMH_INGEST_WORKERS` set
+//! (the determinism matrix); an unset variable sweeps all of {1, 2, 4, 8}.
+
+use hmh_core::{format, HmhParams, HyperMinHash};
+use hmh_hash::{HashAlgorithm, RandomOracle};
+use hmh_ingest::{ingest, IngestOptions};
+
+fn p(p: u32, q: u32, r: u32) -> HmhParams {
+    HmhParams::new(p, q, r).expect("valid test parameters")
+}
+
+/// Parameter grid: small/typical/wide register shapes.
+fn parameter_sets() -> [HmhParams; 3] {
+    [p(4, 3, 4), p(8, 6, 6), p(11, 6, 10)]
+}
+
+/// Worker counts under test: the CI matrix pins one via the environment;
+/// a local `cargo test` sweeps all of them.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("HMH_INGEST_WORKERS") {
+        Ok(v) => {
+            let n = v.parse().expect("HMH_INGEST_WORKERS must be a worker count");
+            assert!((1..=64).contains(&n), "HMH_INGEST_WORKERS out of range: {n}");
+            vec![n]
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Deterministic item stream for one (seed, case) pair. SplitMix-style
+/// mixing keeps streams distinct across seeds without a RNG dependency.
+fn items(seed: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| mix(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i))).collect()
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn sequential(params: HmhParams, oracle: RandomOracle, items: &[u64]) -> HyperMinHash {
+    let mut s = HyperMinHash::with_oracle(params, oracle);
+    for item in items {
+        s.insert(item);
+    }
+    s
+}
+
+#[test]
+fn parallel_encoding_is_byte_identical_to_sequential() {
+    const SEEDS: u64 = 8;
+    const N: usize = 4_000;
+    for params in parameter_sets() {
+        for seed in 0..SEEDS {
+            let oracle = RandomOracle::with_seed(seed);
+            let stream = items(seed, N);
+            let expected = format::encode(&sequential(params, oracle, &stream));
+            for workers in worker_counts() {
+                for batch_size in [1, 7, 512] {
+                    let opts = IngestOptions { workers, queue_depth: 4, batch_size };
+                    let got = ingest(params, oracle, stream.iter().copied(), opts)
+                        .expect("ingest pipeline failed");
+                    assert_eq!(
+                        format::encode(&got),
+                        expected,
+                        "divergence at params={params:?} seed={seed} \
+                         workers={workers} batch_size={batch_size}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicated_and_reordered_streams_converge() {
+    // Idempotence + commutativity end-to-end: feeding the stream twice,
+    // reversed the second time, through differently-shaped pipelines still
+    // reproduces the sequential single-pass encoding.
+    let params = p(8, 6, 6);
+    for seed in [3u64, 11] {
+        let oracle = RandomOracle::with_seed(seed);
+        let stream = items(seed, 2_000);
+        let expected = format::encode(&sequential(params, oracle, &stream));
+        for workers in worker_counts() {
+            let opts = IngestOptions { workers, queue_depth: 2, batch_size: 64 };
+            let doubled = stream.iter().copied().chain(stream.iter().rev().copied());
+            let got = ingest(params, oracle, doubled, opts).expect("ingest pipeline failed");
+            assert_eq!(format::encode(&got), expected, "seed={seed} workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn every_oracle_algorithm_is_deterministic_under_parallel_ingest() {
+    let params = p(6, 4, 6);
+    let algorithms = [
+        HashAlgorithm::Murmur3,
+        HashAlgorithm::Sha1,
+        HashAlgorithm::XxPair,
+        HashAlgorithm::SplitMix,
+    ];
+    for algorithm in algorithms {
+        let oracle = RandomOracle::new(algorithm, 42);
+        let stream = items(99, 1_500);
+        let expected = format::encode(&sequential(params, oracle, &stream));
+        for workers in worker_counts() {
+            let opts = IngestOptions { workers, queue_depth: 4, batch_size: 128 };
+            let got = ingest(params, oracle, stream.iter().copied(), opts)
+                .expect("ingest pipeline failed");
+            assert_eq!(format::encode(&got), expected, "{algorithm:?} workers={workers}");
+        }
+    }
+}

@@ -17,12 +17,13 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use hmh_core::format::{self, FormatError};
-use hmh_core::HyperMinHash;
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_hash::RandomOracle;
 use hmh_store::RetryPolicy;
 
 use crate::proto::{
     decode_response, encode_request, read_frame, write_frame, ErrCode, FrameError, Health, Request,
-    Response, MAX_FRAME_LEN,
+    Response, MAX_BATCH_ITEMS, MAX_FRAME_LEN, MAX_ITEM_LEN,
 };
 
 /// Client configuration.
@@ -66,6 +67,13 @@ pub enum ClientError {
         /// Human-readable detail from the server.
         message: String,
     },
+    /// A batch item exceeded the protocol's per-item ceiling.
+    ItemTooLarge {
+        /// Offending item length in bytes.
+        len: usize,
+        /// The protocol maximum.
+        max: usize,
+    },
     /// The server's reply could not be parsed (version skew or a
     /// corrupted stream).
     BadReply(String),
@@ -83,6 +91,9 @@ impl std::fmt::Display for ClientError {
             ClientError::NotFound(name) => write!(f, "no sketch named {name:?}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::ItemTooLarge { len, max } => {
+                write!(f, "batch item is {len} bytes; the protocol caps items at {max}")
             }
             ClientError::BadReply(detail) => write!(f, "unparseable server reply: {detail}"),
             ClientError::Format(e) => write!(f, "sketch payload: {e}"),
@@ -156,6 +167,50 @@ impl Client {
             Response::Ok => Ok(()),
             other => Err(unexpected(other, name)),
         }
+    }
+
+    /// Ingest raw items into the sketch stored under `name` server-side,
+    /// creating it with `params`/`oracle` if absent.
+    ///
+    /// Items are streamed in protocol-capped frames ([`MAX_BATCH_ITEMS`]
+    /// items of at most [`MAX_ITEM_LEN`] bytes each), so one call may
+    /// issue several round-trips. Each frame is idempotent — re-inserting
+    /// an item never changes a sketch — so retries after ambiguous
+    /// transport failures stay safe. An empty `items` slice still sends
+    /// one frame, creating the (empty) sketch if it does not exist.
+    pub fn batch_put(
+        &mut self,
+        name: &str,
+        params: HmhParams,
+        oracle: RandomOracle,
+        items: &[&[u8]],
+    ) -> Result<(), ClientError> {
+        if let Some(item) = items.iter().find(|item| item.len() > MAX_ITEM_LEN) {
+            return Err(ClientError::ItemTooLarge { len: item.len(), max: MAX_ITEM_LEN });
+        }
+        let widths = [params.p(), params.q(), params.r()]
+            .map(|w| u8::try_from(w).expect("invariant: register widths fit a byte"));
+        let algorithm = format::algorithm_to_byte(oracle.algorithm());
+        let mut chunks: Vec<&[&[u8]]> = items.chunks(MAX_BATCH_ITEMS).collect();
+        if chunks.is_empty() {
+            chunks.push(&[]);
+        }
+        for chunk in chunks {
+            let request = Request::BatchPut {
+                name: name.to_string(),
+                p: widths[0],
+                q: widths[1],
+                r: widths[2],
+                algorithm,
+                seed: oracle.seed(),
+                items: chunk.iter().map(|item| item.to_vec()).collect(),
+            };
+            match self.request(&request)? {
+                Response::Ok => {}
+                other => return Err(unexpected(other, name)),
+            }
+        }
+        Ok(())
     }
 
     /// Fetch the sketch stored under `name`.

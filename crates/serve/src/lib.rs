@@ -36,5 +36,7 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError, ClientOptions};
-pub use proto::{ErrCode, Health, ProtoError, Request, Response, MAX_FRAME_LEN};
+pub use proto::{
+    ErrCode, Health, ProtoError, Request, Response, MAX_BATCH_ITEMS, MAX_FRAME_LEN, MAX_ITEM_LEN,
+};
 pub use server::{serve, ServeError, ServeOptions, ServerHandle};

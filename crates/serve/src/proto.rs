@@ -43,6 +43,14 @@ pub const MAX_FRAME_LEN: usize = MAX_ENCODED_LEN + 2 * MAX_NAME_LEN + 64;
 /// bytes, not declared lengths.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// Maximum items in one `BATCH_PUT` frame. Together with
+/// [`MAX_ITEM_LEN`] this keeps a maximal batch (≈ 16 MiB) well under
+/// [`MAX_FRAME_LEN`]; clients chunk longer streams into multiple frames.
+pub const MAX_BATCH_ITEMS: usize = 16 * 1024;
+
+/// Maximum byte length of one `BATCH_PUT` item.
+pub const MAX_ITEM_LEN: usize = 1024;
+
 /// Request opcodes.
 mod op {
     pub const PUT: u8 = 1;
@@ -53,6 +61,7 @@ mod op {
     pub const LIST: u8 = 6;
     pub const HEALTH: u8 = 7;
     pub const SHUTDOWN: u8 = 8;
+    pub const BATCH_PUT: u8 = 9;
 }
 
 /// Response status bytes.
@@ -155,6 +164,26 @@ pub enum Request {
         a: String,
         /// Second name.
         b: String,
+    },
+    /// Ingest a frame of raw items into the named sketch server-side,
+    /// creating it with the given configuration if absent. Replaces one
+    /// PUT round-trip per sketch with one frame per batch of items.
+    BatchPut {
+        /// Target name.
+        name: String,
+        /// Sketch precision `p` (bucket bits) used when creating.
+        p: u8,
+        /// Counter width `q` used when creating.
+        q: u8,
+        /// Mantissa width `r` used when creating.
+        r: u8,
+        /// Hash algorithm byte (the `HMH1` header encoding).
+        algorithm: u8,
+        /// Oracle seed.
+        seed: u64,
+        /// Raw item byte strings, each ≤ [`MAX_ITEM_LEN`]; at most
+        /// [`MAX_BATCH_ITEMS`] per frame.
+        items: Vec<Vec<u8>>,
     },
     /// All stored names.
     List,
@@ -441,6 +470,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             push_name(&mut out, a);
             push_name(&mut out, b);
         }
+        Request::BatchPut { name, p, q, r, algorithm, seed, items } => {
+            out.push(op::BATCH_PUT);
+            push_name(&mut out, name);
+            out.push(*p);
+            out.push(*q);
+            out.push(*r);
+            out.push(*algorithm);
+            out.extend_from_slice(&seed.to_le_bytes());
+            assert!(items.len() <= MAX_BATCH_ITEMS, "invariant: callers cap batch item counts");
+            let count = u32::try_from(items.len()).expect("invariant: MAX_BATCH_ITEMS < u32::MAX");
+            out.extend_from_slice(&count.to_le_bytes());
+            for item in items {
+                assert!(item.len() <= MAX_ITEM_LEN, "invariant: callers cap item lengths");
+                let len = u16::try_from(item.len()).expect("invariant: MAX_ITEM_LEN fits u16");
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(item);
+            }
+        }
         Request::List => out.push(op::LIST),
         Request::Health => out.push(op::HEALTH),
         Request::Shutdown => out.push(op::SHUTDOWN),
@@ -571,6 +618,16 @@ impl<'a> Cursor<'a> {
         std::str::from_utf8(bytes).map(str::to_string).map_err(|_| ProtoError::BadString)
     }
 
+    /// A batch item: u16 length validated against [`MAX_ITEM_LEN`] before
+    /// any read. Unlike names, items are raw bytes and may be empty.
+    fn item(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = usize::from(self.u16()?);
+        if len > MAX_ITEM_LEN {
+            return Err(ProtoError::FieldTooLarge { got: len, max: MAX_ITEM_LEN });
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
     /// A sketch blob: u32 length validated against [`MAX_ENCODED_LEN`]
     /// before any read.
     fn blob(&mut self) -> Result<Vec<u8>, ProtoError> {
@@ -603,6 +660,25 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
         op::MERGE => Request::Merge { name: c.name()?, sketch: c.blob()? },
         op::CARD => Request::Card { name: c.name()? },
         op::JACCARD => Request::Jaccard { a: c.name()?, b: c.name()? },
+        op::BATCH_PUT => {
+            let name = c.name()?;
+            let p = c.u8()?;
+            let q = c.u8()?;
+            let r = c.u8()?;
+            let algorithm = c.u8()?;
+            let seed = c.u64()?;
+            let count = c.u32()? as usize;
+            if count > MAX_BATCH_ITEMS {
+                return Err(ProtoError::FieldTooLarge { got: count, max: MAX_BATCH_ITEMS });
+            }
+            // Bound the allocation by bytes present: each item costs ≥ 2
+            // wire bytes, so a lying count fails fast on Truncated.
+            let mut items = Vec::with_capacity(count.min(c.remaining() / 2 + 1));
+            for _ in 0..count {
+                items.push(c.item()?);
+            }
+            Request::BatchPut { name, p, q, r, algorithm, seed, items }
+        }
         op::LIST => Request::List,
         op::HEALTH => Request::Health,
         op::SHUTDOWN => Request::Shutdown,
@@ -678,6 +754,72 @@ mod tests {
         round_trip_request(Request::List);
         round_trip_request(Request::Health);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::BatchPut {
+            name: "events".into(),
+            p: 8,
+            q: 6,
+            r: 6,
+            algorithm: 0,
+            seed: 0xDEAD_BEEF,
+            items: vec![b"alpha".to_vec(), Vec::new(), vec![0xff; MAX_ITEM_LEN]],
+        });
+        round_trip_request(Request::BatchPut {
+            name: "empty-batch".into(),
+            p: 4,
+            q: 3,
+            r: 4,
+            algorithm: 3,
+            seed: 0,
+            items: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn batch_put_adversarial_bodies_are_typed_errors() {
+        let header = |count: u32| {
+            let mut b = vec![PROTO_VERSION, op::BATCH_PUT];
+            b.extend_from_slice(&2u16.to_le_bytes());
+            b.extend_from_slice(b"bp");
+            b.extend_from_slice(&[8, 6, 6, 0]); // p q r algorithm
+            b.extend_from_slice(&7u64.to_le_bytes()); // seed
+            b.extend_from_slice(&count.to_le_bytes());
+            b
+        };
+        // Lying count: claims 1000 items, carries none.
+        assert!(matches!(
+            decode_request(&header(1000)),
+            Err(ProtoError::Truncated { expected: 2, got: 0 })
+        ));
+        // Oversize batch: count over the protocol cap fails before any
+        // item bytes are believed.
+        let claim = u32::try_from(MAX_BATCH_ITEMS + 1).unwrap();
+        assert_eq!(
+            decode_request(&header(claim)),
+            Err(ProtoError::FieldTooLarge {
+                got: MAX_BATCH_ITEMS + 1,
+                max: MAX_BATCH_ITEMS
+            })
+        );
+        // Oversize item: length over MAX_ITEM_LEN is rejected unread.
+        let mut b = header(1);
+        b.extend_from_slice(&u16::try_from(MAX_ITEM_LEN + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_ITEM_LEN + 1, max: MAX_ITEM_LEN })
+        );
+        // Truncated item list: second item's bytes missing.
+        let mut b = header(2);
+        b.extend_from_slice(&3u16.to_le_bytes());
+        b.extend_from_slice(b"abc");
+        b.extend_from_slice(&9u16.to_le_bytes());
+        b.extend_from_slice(b"shor"); // 4 of 9 declared bytes
+        assert_eq!(decode_request(&b), Err(ProtoError::Truncated { expected: 9, got: 4 }));
+        // Trailing junk after a complete batch.
+        let mut b = header(1);
+        b.extend_from_slice(&1u16.to_le_bytes());
+        b.push(b'x');
+        b.push(0);
+        assert_eq!(decode_request(&b), Err(ProtoError::TrailingBytes(1)));
     }
 
     #[test]

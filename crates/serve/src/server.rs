@@ -35,7 +35,8 @@ use std::thread;
 use std::time::Duration;
 
 use hmh_core::format;
-use hmh_core::HyperMinHash;
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_hash::RandomOracle;
 use hmh_store::{FileBackend, SketchStore, StoreError, StoreOptions};
 
 use crate::proto::{
@@ -351,6 +352,9 @@ fn handle_request(shared: &Shared, request: Request) -> (Response, Disposition) 
     let resp = match request {
         Request::Put { name, sketch } => write_op(shared, &name, sketch, false),
         Request::Merge { name, sketch } => write_op(shared, &name, sketch, true),
+        Request::BatchPut { name, p, q, r, algorithm, seed, items } => {
+            batch_put(shared, &name, (p, q, r), algorithm, seed, &items)
+        }
         Request::Get { name } => match shared.store().get_encoded(&name) {
             Some(bytes) => Response::Sketch(bytes.to_vec()),
             None => not_found(&name),
@@ -419,7 +423,67 @@ fn write_op(shared: &Shared, name: &str, payload: Vec<u8>, merge: bool) -> Respo
         store.put_encoded(name, &payload)
     };
     drop(store);
+    commit_result(shared, result)
+}
 
+/// BATCH_PUT: ingest a frame of raw items into the named sketch, creating
+/// it with the requested configuration if absent. Same write discipline
+/// as [`write_op`]: validate before touching the store, refuse in
+/// read-only mode, and trip read-only degradation on a store I/O error.
+fn batch_put(
+    shared: &Shared,
+    name: &str,
+    (p, q, r): (u8, u8, u8),
+    algorithm: u8,
+    seed: u64,
+    items: &[Vec<u8>],
+) -> Response {
+    if shared.read_only.load(Ordering::SeqCst) {
+        return Response::ReadOnly;
+    }
+    // Validate the sketch configuration up front: a hostile configuration
+    // is a protocol-level error and must not consume a write.
+    let params = match HmhParams::new(u32::from(p), u32::from(q), u32::from(r)) {
+        Ok(params) => params,
+        Err(e) => return Response::Err { code: ErrCode::BadSketch, message: e.to_string() },
+    };
+    let algorithm = match format::algorithm_from_byte(algorithm) {
+        Ok(alg) => alg,
+        Err(e) => return Response::Err { code: ErrCode::BadSketch, message: e.to_string() },
+    };
+    let oracle = RandomOracle::new(algorithm, seed);
+
+    // Hold the store lock across read-modify-write so concurrent batches
+    // to the same name serialize instead of losing updates.
+    let mut store = shared.store();
+    let mut sketch = match store.get_encoded(name).map(format::decode) {
+        Some(Ok(existing)) => {
+            if existing.params() != params || existing.oracle() != oracle {
+                return Response::Err {
+                    code: ErrCode::Incompatible,
+                    message: format!(
+                        "sketch {name:?} exists with a different configuration; \
+                         batch ingest cannot change parameters"
+                    ),
+                };
+            }
+            existing
+        }
+        Some(Err(e)) => {
+            return Response::Err { code: ErrCode::BadSketch, message: e.to_string() }
+        }
+        None => HyperMinHash::with_oracle(params, oracle),
+    };
+    let slices: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+    sketch.insert_batch(&slices);
+    let result = store.put(name, &sketch);
+    drop(store);
+    commit_result(shared, result)
+}
+
+/// Map a store write result onto the wire, tripping read-only
+/// degradation when the disk refuses the write.
+fn commit_result(shared: &Shared, result: Result<(), StoreError>) -> Response {
     match result {
         Ok(()) => Response::Ok,
         Err(StoreError::Io(e)) => {

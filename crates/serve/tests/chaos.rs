@@ -23,8 +23,10 @@ use std::time::Duration;
 use hmh_core::format;
 use hmh_core::{HmhParams, HyperMinHash};
 use hmh_hash::splitmix::SplitMix64;
+use hmh_hash::RandomOracle;
 use hmh_serve::proto::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, MAX_FRAME_LEN,
+    decode_response, encode_request, read_frame, write_frame, Request, Response, MAX_BATCH_ITEMS,
+    MAX_FRAME_LEN, MAX_ITEM_LEN,
 };
 use hmh_serve::{serve, Client, ClientError, ClientOptions, ErrCode, ServeOptions, ServerHandle};
 use hmh_store::{RetryPolicy, SketchStore, StoreOptions};
@@ -415,4 +417,220 @@ fn kill_mid_put_leaves_store_salvageable() {
         s,
         "acknowledged write survives the abandon"
     );
+}
+
+// ---------------------------------------------------------------------
+// BATCH_PUT adversarial cases: the batched ingest op faces the same
+// chaos as everything else — truncated item lists, lying counts,
+// oversize batches, disconnects mid-batch — and must answer with typed
+// errors or clean closes, never a panic, a hang, or a leaked slot.
+// ---------------------------------------------------------------------
+
+/// A raw BATCH_PUT body with an arbitrary claimed item count over an
+/// arbitrary actual item list — the tamperable building block.
+fn batch_body(name: &str, claimed_count: u32, items: &[&[u8]]) -> Vec<u8> {
+    let mut b = vec![1u8, 9]; // PROTO_VERSION, op::BATCH_PUT
+    b.extend_from_slice(&u16::try_from(name.len()).unwrap().to_le_bytes());
+    b.extend_from_slice(name.as_bytes());
+    b.extend_from_slice(&[8, 6, 6, 0]); // p, q, r, algorithm (murmur3)
+    b.extend_from_slice(&7u64.to_le_bytes()); // seed
+    b.extend_from_slice(&claimed_count.to_le_bytes());
+    for item in items {
+        b.extend_from_slice(&u16::try_from(item.len()).unwrap().to_le_bytes());
+        b.extend_from_slice(item);
+    }
+    b
+}
+
+/// Send one framed body and decode the (required) reply frame.
+fn exchange_raw(handle: &ServerHandle, body: &[u8]) -> Response {
+    let mut conn = raw(handle);
+    write_frame(&mut conn, body).unwrap();
+    let frame = read_frame(&mut conn, MAX_FRAME_LEN)
+        .expect("server must reply in protocol")
+        .expect("server must not hang up before replying to a well-framed body");
+    decode_response(&frame).expect("server replies are always decodable")
+}
+
+#[test]
+fn batch_put_round_trip_matches_local_build() {
+    let dir = TempDir::new("batch-roundtrip");
+    let handle = start(&dir, 2, 8);
+    let params = HmhParams::new(8, 6, 6).unwrap();
+    let oracle = RandomOracle::with_seed(7);
+
+    let items: Vec<Vec<u8>> = (0u64..5_000).map(|i| i.to_le_bytes().to_vec()).collect();
+    let slices: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+    let mut c = client(&handle);
+    // Two frames' worth through one call, plus a second call on the same
+    // name: server-side ingest must accumulate, idempotently.
+    c.batch_put("batch", params, oracle, &slices).unwrap();
+    c.batch_put("batch", params, oracle, &slices[..100]).unwrap();
+
+    let mut local = HyperMinHash::with_oracle(params, oracle);
+    local.insert_batch(&slices);
+    assert_eq!(c.get("batch").unwrap(), local, "server-side ingest matches a local build");
+
+    // A conflicting configuration on an existing name is refused.
+    let other = HmhParams::new(6, 4, 4).unwrap();
+    match c.batch_put("batch", other, oracle, &[]) {
+        Err(ClientError::Server { code: ErrCode::Incompatible, .. }) => {}
+        other => panic!("conflicting config must be Incompatible, got {other:?}"),
+    }
+    drop(c);
+    assert_still_healthy(&handle, "batch-roundtrip");
+    handle.join();
+}
+
+#[test]
+fn batch_put_truncated_item_list_is_a_typed_error() {
+    let dir = TempDir::new("batch-truncated");
+    let handle = start(&dir, 2, 8);
+
+    // The frame is complete; the body inside lies: three items declared,
+    // the second one's bytes cut short, the third missing entirely.
+    let mut body = batch_body("trunc", 3, &[b"alpha"]);
+    body.extend_from_slice(&9u16.to_le_bytes());
+    body.extend_from_slice(b"shor"); // 4 of 9 declared bytes
+    match exchange_raw(&handle, &body) {
+        Response::Err { code: ErrCode::BadFrame, .. } => {}
+        other => panic!("truncated item list must be BadFrame, got {other:?}"),
+    }
+
+    // Nothing may have been ingested from the mangled frame.
+    let mut c = client(&handle);
+    match c.get("trunc") {
+        Err(ClientError::NotFound(_)) => {}
+        other => panic!("a rejected batch must not create the sketch: {other:?}"),
+    }
+    drop(c);
+    assert_still_healthy(&handle, "batch-truncated");
+    handle.join();
+}
+
+#[test]
+fn batch_put_lying_item_count_is_a_typed_error() {
+    let dir = TempDir::new("batch-lying");
+    let handle = start(&dir, 2, 8);
+
+    // Claims 10_000 items, carries two: in-cap count, unbacked by bytes.
+    let body = batch_body("liar", 10_000, &[b"a", b"b"]);
+    match exchange_raw(&handle, &body) {
+        Response::Err { code: ErrCode::BadFrame, .. } => {}
+        other => panic!("lying count must be BadFrame, got {other:?}"),
+    }
+
+    let mut c = client(&handle);
+    match c.get("liar") {
+        Err(ClientError::NotFound(_)) => {}
+        other => panic!("a rejected batch must not create the sketch: {other:?}"),
+    }
+    drop(c);
+    assert_still_healthy(&handle, "batch-lying");
+    handle.join();
+}
+
+#[test]
+fn batch_put_oversize_batch_and_items_are_shed_with_too_large() {
+    let dir = TempDir::new("batch-oversize");
+    let handle = start(&dir, 2, 8);
+
+    // Count over the protocol cap: rejected before any item is believed.
+    let body = batch_body("big", u32::try_from(MAX_BATCH_ITEMS + 1).unwrap(), &[]);
+    match exchange_raw(&handle, &body) {
+        Response::Err { code: ErrCode::TooLarge, .. } => {}
+        other => panic!("oversize count must be TooLarge, got {other:?}"),
+    }
+
+    // One item over the per-item cap: same fate.
+    let mut body = batch_body("big", 1, &[]);
+    body.extend_from_slice(&u16::try_from(MAX_ITEM_LEN + 1).unwrap().to_le_bytes());
+    body.extend_from_slice(&vec![0x55u8; MAX_ITEM_LEN + 1]);
+    match exchange_raw(&handle, &body) {
+        Response::Err { code: ErrCode::TooLarge, .. } => {}
+        other => panic!("oversize item must be TooLarge, got {other:?}"),
+    }
+
+    // The client refuses oversize items before they reach the wire.
+    let mut c = client(&handle);
+    let params = HmhParams::new(8, 6, 6).unwrap();
+    let fat = vec![0u8; MAX_ITEM_LEN + 1];
+    match c.batch_put("big", params, RandomOracle::with_seed(7), &[&fat]) {
+        Err(ClientError::ItemTooLarge { len, max }) => {
+            assert_eq!(len, MAX_ITEM_LEN + 1);
+            assert_eq!(max, MAX_ITEM_LEN);
+        }
+        other => panic!("client must refuse oversize items locally, got {other:?}"),
+    }
+    drop(c);
+    assert_still_healthy(&handle, "batch-oversize");
+    handle.join();
+}
+
+#[test]
+fn batch_put_disconnect_mid_batch_leaks_nothing_and_ingests_nothing() {
+    let dir = TempDir::new("batch-disconnect");
+    let handle = start(&dir, 2, 8);
+    let mut rng = SplitMix64::new(0xBA7C);
+
+    let items: Vec<Vec<u8>> = (0u64..2_000).map(|i| i.to_le_bytes().to_vec()).collect();
+    let slices: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+    let body = batch_body("cutoff", u32::try_from(slices.len()).unwrap(), &slices);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &body).unwrap();
+
+    for _ in 0..40 {
+        let cut = (rng.next_u64() as usize) % framed.len();
+        let mut conn = raw(&handle);
+        let _ = conn.write_all(&framed[..cut]);
+        // Hard drop: RST or FIN mid-batch at a seeded random offset.
+        drop(conn);
+    }
+
+    // Batches are atomic per frame: a frame that never fully arrived
+    // must not have ingested a single item.
+    let mut c = client(&handle);
+    match c.get("cutoff") {
+        Err(ClientError::NotFound(_)) => {}
+        other => panic!("a torn batch frame must ingest nothing: {other:?}"),
+    }
+    drop(c);
+    assert_still_healthy(&handle, "batch-disconnect");
+    handle.join();
+}
+
+#[test]
+fn batch_put_respects_read_only_degradation() {
+    let dir = TempDir::new("batch-readonly");
+    let handle = start(&dir, 2, 8);
+    let params = HmhParams::new(8, 6, 6).unwrap();
+    let oracle = RandomOracle::with_seed(7);
+
+    let mut c = client(&handle);
+    c.batch_put("pre", params, oracle, &[b"one", b"two"]).unwrap();
+
+    // Yank the store directory: the next durable write fails, tripping
+    // sticky read-only degradation — batches must then be refused.
+    std::fs::remove_dir_all(&dir.0).unwrap();
+    let mut tripped = false;
+    for round in 0..8 {
+        let item = format!("post-{round}");
+        match c.batch_put("pre", params, oracle, &[item.as_bytes()]) {
+            Err(ClientError::Server { code: ErrCode::Store, .. }) => tripped = true,
+            Err(ClientError::ReadOnly) => {
+                tripped = true;
+                break;
+            }
+            Ok(()) => {}
+            Err(e) => panic!("unexpected batch failure: {e}"),
+        }
+    }
+    assert!(tripped, "a dead store must trip degradation");
+    match c.batch_put("fresh", params, oracle, &[b"x"]) {
+        Err(ClientError::ReadOnly) => {}
+        other => panic!("read-only server must refuse batches: {other:?}"),
+    }
+    // Reads still work in degradation.
+    assert!(c.get("pre").is_ok(), "acknowledged state stays servable");
+    handle.join();
 }

@@ -51,6 +51,7 @@ pub use hmh_cnf as cnf;
 pub use hmh_core as sketch;
 pub use hmh_hash as hashing;
 pub use hmh_hll as hll;
+pub use hmh_ingest as ingest;
 pub use hmh_math as math;
 pub use hmh_minhash as minhash;
 pub use hmh_simulate as simulate;
