@@ -77,9 +77,16 @@ commands:
             fsck [--json]     report on-disk health (salvage scan);
                               exits 0 clean, 1 salvaged, 2 unrecoverable
   serve   DIR [--addr A] [--workers N] [--queue-depth N]
+              [--peer ADDR]... [--sync-interval-ms N]
           serve the store at DIR over TCP (default 127.0.0.1:7700);
-          holds the store lock until a client sends shutdown
-  client  ADDR OP [ARG...]    talk to a running daemon; OP is one of
+          holds the store lock until a client sends shutdown. Each
+          --peer names another replica; the daemon then runs periodic
+          anti-entropy (digest exchange + lossless merge pull) against
+          its peers and reports per-peer health
+  client  ADDR[,ADDR...] OP [ARG...]
+          talk to a running daemon; several comma-separated addresses
+          form an ordered failover list (BUSY, timeouts and refusals
+          rotate to the next replica). OP is one of
             put NAME FILE / merge NAME FILE / get NAME OUT
             batch NAME FILE [-p P] [-q Q] [-r R] [--seed S] [--alg A]
                               ingest lines of FILE into NAME server-side
@@ -519,12 +526,23 @@ fn json_string(s: &str) -> String {
     escaped
 }
 
+/// Resolve one `HOST:PORT` argument to a socket address.
+fn resolve_addr(addr: &str) -> Result<std::net::SocketAddr, CliError> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .map_err(|e| CliError::usage(format!("bad address {addr:?}: {e}")))?
+        .next()
+        .ok_or_else(|| CliError::usage(format!("address {addr:?} resolves to nothing")))
+}
+
 fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let [dir, rest @ ..] = args else {
         return Err(CliError::usage("serve needs a store DIR"));
     };
     let mut addr = "127.0.0.1:7700".to_string();
     let mut opts = hmh_serve::ServeOptions::default();
+    let mut peers: Vec<std::net::SocketAddr> = Vec::new();
+    let mut sync_interval = std::time::Duration::from_secs(1);
     let need = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
         args.get(i).cloned().ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
     };
@@ -547,12 +565,45 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     .parse()
                     .map_err(|e| CliError::usage(format!("--queue-depth: {e}")))?;
             }
+            "--peer" => {
+                i += 1;
+                peers.push(resolve_addr(&need(rest, i, "--peer")?)?);
+            }
+            "--sync-interval-ms" => {
+                i += 1;
+                let ms: u64 = need(rest, i, "--sync-interval-ms")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--sync-interval-ms: {e}")))?;
+                sync_interval = std::time::Duration::from_millis(ms.max(1));
+            }
             other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
         }
         i += 1;
     }
     let handle = hmh_serve::serve(dir, addr.as_str(), opts)
         .map_err(|e| CliError::runtime(format!("serve: {e}")))?;
+    // With peers configured, run the anti-entropy engine alongside the
+    // daemon. The jitter seed folds in the bound port so co-hosted
+    // replicas started the same instant still decorrelate their rounds.
+    let engine = if peers.is_empty() {
+        None
+    } else {
+        let replica_opts = hmh_replica::ReplicaOptions {
+            interval: sync_interval,
+            jitter_seed: u64::from(handle.addr().port())
+                ^ (u64::from(std::process::id()) << 16),
+            ..hmh_replica::ReplicaOptions::default()
+        };
+        Some(
+            hmh_replica::AntiEntropy::spawn(
+                handle.addr(),
+                &peers,
+                handle.replication(),
+                replica_opts,
+            )
+            .map_err(|e| CliError::runtime(format!("replication engine: {e}")))?,
+        )
+    };
     // The "listening on" line is the readiness signal scripts (and the
     // chaos harness) wait for; flush so it lands before we block.
     write_out(out, format!("listening on {}\n", handle.addr()))?;
@@ -563,6 +614,9 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     while !handle.is_finished() {
         std::thread::sleep(std::time::Duration::from_millis(25));
     }
+    if let Some(engine) = engine {
+        engine.stop();
+    }
     handle.join();
     // Best effort: whoever was reading our stdout may be long gone by
     // now (`hmh serve | head -1`), and a vanished log pipe must not turn
@@ -572,17 +626,21 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    use std::net::ToSocketAddrs;
-
-    let [addr, op, rest @ ..] = args else {
+    let [addr_list, op, rest @ ..] = args else {
         return Err(CliError::usage("client needs ADDR and an operation\n(see `hmh help`)"));
     };
-    let addr = addr
-        .to_socket_addrs()
-        .map_err(|e| CliError::usage(format!("bad address {addr:?}: {e}")))?
-        .next()
-        .ok_or_else(|| CliError::usage(format!("address {addr:?} resolves to nothing")))?;
-    let mut client = hmh_serve::Client::connect(addr);
+    // One address talks to one daemon; a comma-separated list is an
+    // ordered failover ring (a single entry is just a ring of one).
+    let addrs = addr_list
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(resolve_addr)
+        .collect::<Result<Vec<_>, _>>()?;
+    if addrs.is_empty() {
+        return Err(CliError::usage("client needs at least one address"));
+    }
+    let addr = addrs[0];
+    let mut client = hmh_serve::FailoverClient::connect(&addrs);
     let fail = |op: &str, e: hmh_serve::ClientError| CliError::runtime(format!("{op}: {e}"));
     match (op.as_str(), rest) {
         ("put", [name, file]) => {
@@ -643,7 +701,8 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 out,
                 format!(
                     "read_only: {}\nworkers: {}\nqueue: {}/{}\nactive: {}\nshed: {}\nserved: {}\n\
-                     sketches: {}\nstore_clean: {}\nquarantined: {}\ntruncated_tail: {}\n",
+                     sketches: {}\nstore_clean: {}\nquarantined: {}\ntruncated_tail: {}\n\
+                     replication_rounds: {}\npeers: {}\n",
                     h.read_only,
                     h.workers,
                     h.queue_depth,
@@ -655,8 +714,25 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     h.store_clean,
                     h.quarantined,
                     h.truncated_tail,
+                    h.rounds,
+                    h.peers.len(),
                 ),
-            )
+            )?;
+            for peer in &h.peers {
+                let age = if peer.last_sync_age == u64::MAX {
+                    "never synced".to_string()
+                } else {
+                    format!("last sync {} round(s) ago", peer.last_sync_age)
+                };
+                write_out(
+                    out,
+                    format!(
+                        "peer {}: {}, {age}, {} mismatch(es) repaired\n",
+                        peer.addr, peer.state, peer.mismatches
+                    ),
+                )?;
+            }
+            Ok(())
         }
         ("shutdown", []) => {
             client.shutdown().map_err(|e| fail("shutdown", e))?;

@@ -1,0 +1,220 @@
+//! Process-level replication drill: a real 3-node `hmh serve` cluster —
+//! separate processes, real sockets, `--peer` anti-entropy — takes
+//! disjoint writes on every node, converges byte-identically, survives a
+//! SIGKILL of one node mid-sync (no destructors, stale lock left
+//! behind), salvages on restart, rejoins, and re-converges including the
+//! writes that happened during the outage. The failover client rides
+//! through a dead address on the way.
+//!
+//! This is the drill the in-process suite (`hmh-serve`'s
+//! `tests/replication.rs`) cannot run: `Child::kill()` is SIGKILL on
+//! Unix, so the killed replica gets no Drop, no flush, no lock release.
+
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use hmh_core::format;
+use hmh_core::{HmhParams, HyperMinHash};
+use hmh_serve::proto::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, MAX_FRAME_LEN,
+};
+use hmh_serve::Client;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hmh-drill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Reserve a localhost port by binding to :0 and immediately releasing
+/// it. Replicas need to know each other's addresses *before* any of
+/// them has started, so OS-assigned readiness addresses are not enough.
+fn reserve_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap().port()
+}
+
+/// Spawn one cluster node on a fixed port with the given peers, and
+/// wait for its readiness line.
+fn spawn_node(store_dir: &str, port: u16, peers: &[u16]) -> (Child, SocketAddr) {
+    let mut args = vec![
+        "serve".to_string(),
+        store_dir.to_string(),
+        "--addr".to_string(),
+        format!("127.0.0.1:{port}"),
+        "--sync-interval-ms".to_string(),
+        "30".to_string(),
+    ];
+    for peer in peers {
+        args.push("--peer".to_string());
+        args.push(format!("127.0.0.1:{peer}"));
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hmh"))
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hmh serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines.next().expect("daemon prints a readiness line").expect("readable stdout");
+    let addr: SocketAddr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {first:?}"))
+        .parse()
+        .expect("parseable address");
+    (child, addr)
+}
+
+fn hmh(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hmh")).args(args).output().expect("run hmh")
+}
+
+fn sketch(lo: u64, hi: u64) -> HyperMinHash {
+    let params = HmhParams::new(8, 6, 6).unwrap();
+    HyperMinHash::from_items(params, lo..hi)
+}
+
+/// Raw encoded bytes of one name on one node (the byte-identity oracle),
+/// or None while the name has not replicated there yet.
+fn encoded(addr: SocketAddr, name: &str) -> Option<Vec<u8>> {
+    let mut conn = TcpStream::connect(addr).ok()?;
+    conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    conn.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+    write_frame(&mut conn, &encode_request(&Request::Get { name: name.into() })).ok()?;
+    let body = read_frame(&mut conn, MAX_FRAME_LEN).ok()??;
+    match decode_response(&body).ok()? {
+        Response::Sketch(bytes) => Some(bytes),
+        _ => None,
+    }
+}
+
+/// Poll until every node serves every expected name with exactly the
+/// expected bytes.
+fn await_convergence(addrs: &[SocketAddr], expect: &[(String, Vec<u8>)], tag: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let converged = addrs.iter().all(|&addr| {
+            expect.iter().all(|(name, bytes)| encoded(addr, name).as_ref() == Some(bytes))
+        });
+        if converged {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{tag}: cluster did not converge byte-identically within 20s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn three_node_cluster_converges_survives_sigkill_and_rejoins() {
+    let dir = TempDir::new("cluster");
+    let stores: Vec<String> = (0..3).map(|i| dir.path(&format!("node{i}"))).collect();
+    let ports: Vec<u16> = (0..3).map(|_| reserve_port()).collect();
+    let peers_of =
+        |i: usize| -> Vec<u16> { (0..3).filter(|&j| j != i).map(|j| ports[j]).collect() };
+
+    let mut nodes: Vec<(Child, SocketAddr)> =
+        (0..3).map(|i| spawn_node(&stores[i], ports[i], &peers_of(i))).collect();
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|(_, a)| *a).collect();
+
+    // Disjoint writes on every node, plus contended shards of "shared".
+    let shards = [sketch(0, 3_000), sketch(3_000, 6_000), sketch(6_000, 9_000)];
+    for (i, shard) in shards.iter().enumerate() {
+        let mut c = Client::connect(addrs[i]);
+        c.put(&format!("node{i}-only"), shard).unwrap();
+        c.merge("shared", shard).unwrap();
+    }
+    let mut union = shards[0].clone();
+    union.merge(&shards[1]).unwrap();
+    union.merge(&shards[2]).unwrap();
+    let mut expect: Vec<(String, Vec<u8>)> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("node{i}-only"), format::encode(s)))
+        .collect();
+    expect.push(("shared".to_string(), format::encode(&union)));
+
+    await_convergence(&addrs, &expect, "initial");
+
+    // The CLI health view names the peers and the replication round.
+    let health_out = hmh(&["client", &addrs[0].to_string(), "health"]);
+    assert!(health_out.status.success(), "health: {health_out:?}");
+    let health = String::from_utf8(health_out.stdout).unwrap();
+    assert!(health.contains("replication_rounds:"), "{health}");
+    for peer in peers_of(0) {
+        assert!(health.contains(&format!("peer 127.0.0.1:{peer}:")), "{health}");
+    }
+    assert!(health.contains("healthy"), "{health}");
+
+    // SIGKILL node 2 mid-sync: push a fresh divergence onto node 0 so
+    // sync traffic toward node 2 is in flight, then kill without
+    // ceremony. The stale lock file stays behind.
+    Client::connect(addrs[0]).put("pre-kill", &sketch(9_000, 12_000)).unwrap();
+    nodes[2].0.kill().expect("SIGKILL node 2");
+    nodes[2].0.wait().expect("reap node 2");
+    assert!(
+        std::path::Path::new(&stores[2]).join(hmh_store::LOCK_FILE).exists(),
+        "SIGKILL leaves the lock file behind"
+    );
+
+    // Life goes on for the survivors: writes land and replicate between
+    // nodes 0 and 1 while node 2 is dead.
+    Client::connect(addrs[1]).put("during-outage", &sketch(12_000, 15_000)).unwrap();
+    expect.push(("pre-kill".to_string(), format::encode(&sketch(9_000, 12_000))));
+    expect.push(("during-outage".to_string(), format::encode(&sketch(12_000, 15_000))));
+    await_convergence(&addrs[..2], &expect, "during-outage");
+
+    // The failover client rotates past the dead replica: node 2's
+    // address first in the ring, survivors behind it.
+    let ring = format!("{},{},{}", addrs[2], addrs[0], addrs[1]);
+    let card_out = hmh(&["client", &ring, "card", "shared"]);
+    assert!(card_out.status.success(), "failover card: {card_out:?}");
+    let card_line = String::from_utf8(card_out.stdout).unwrap();
+    let card: f64 = card_line
+        .trim()
+        .strip_prefix("shared: ")
+        .unwrap_or_else(|| panic!("unexpected card output: {card_line:?}"))
+        .parse()
+        .unwrap();
+    assert!((card / 9_000.0 - 1.0).abs() < 0.15, "failover estimate: {card}");
+
+    // Salvage contract on the killed store: clean (0) or salvaged (1),
+    // never unrecoverable — fsck also steals the stale lock.
+    let fsck = hmh(&["store", &stores[2], "fsck"]);
+    let code = fsck.status.code().expect("fsck exit code");
+    assert!(code == 0 || code == 1, "clean-or-salvaged after SIGKILL, got {code}");
+
+    // Rejoin: node 2 restarts on its old port, from its old directory,
+    // with the same peers — and the whole cluster re-converges on
+    // everything, including the writes it slept through.
+    nodes[2] = spawn_node(&stores[2], ports[2], &peers_of(2));
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|(_, a)| *a).collect();
+    await_convergence(&addrs, &expect, "rejoin");
+
+    // Orderly teardown: every node drains on protocol shutdown.
+    for (i, (child, addr)) in nodes.iter_mut().enumerate() {
+        Client::connect(*addr).shutdown().unwrap();
+        let status = child.wait().expect("node exits after shutdown");
+        assert!(status.success(), "node {i} clean exit: {status:?}");
+    }
+}

@@ -1,0 +1,321 @@
+//! The anti-entropy loop: periodic digest exchange and divergence pull.
+//!
+//! Each round, for every attemptable peer, the engine
+//!
+//! 1. fetches its *own* daemon's digest pages over loopback (the engine
+//!    deliberately has no privileged path into the store — going through
+//!    the wire serializes it behind the same store lock and validation
+//!    as every other writer),
+//! 2. fetches the peer's digest pages,
+//! 3. diffs them: a name the peer has that we lack, or hold with a
+//!    different checksum, is divergent,
+//! 4. pulls the divergent sketches via SYNC (chunked, prefix-tolerant)
+//!    and folds each into the local daemon with a loopback MERGE.
+//!
+//! Merge is Algorithm 2's per-register max: idempotent, commutative,
+//! associative. Pulling is therefore safe to repeat, safe to interleave
+//! with writes, and safe against duplicated delivery — the worst a
+//! redundant pull can do is nothing. Both sides pull from each other
+//! (each daemon runs its own engine), so pairwise pulls converge the
+//! pair; convergence of the cluster follows by transitivity over the
+//! peer graph.
+//!
+//! Hostile peers are contained, not trusted: digest pages must advance
+//! strictly (a cursor that loops is a typed error, not an infinite
+//! loop), total digests per peer are capped, SYNC replies must be a
+//! prefix of the request, and pulled payloads are validated by the local
+//! daemon before any write — a garbage sketch dies there as a typed
+//! BAD_SKETCH and the peer is marked failed, while the local store keeps
+//! serving writes.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use hmh_serve::{
+    Client, ClientError, ClientOptions, ReplicationStatus, MAX_DIGEST_ENTRIES, MAX_SYNC_NAMES,
+};
+use hmh_store::RetryPolicy;
+
+use crate::peer::PeerTracker;
+
+/// How often the pacing sleep re-checks the stop flag.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+/// Ceiling on digests accepted from one peer in one round. A peer
+/// claiming more names than this is lying or misconfigured; either way
+/// the round fails typed instead of allocating without bound.
+pub const MAX_TRACKED_DIGESTS: usize = 1 << 20;
+
+/// Anti-entropy configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicaOptions {
+    /// Base interval between rounds; actual pacing is jittered up to
+    /// +50% via the store's backoff schedule so replicas decorrelate.
+    pub interval: Duration,
+    /// Seed for the pacing jitter (each daemon should use its own).
+    pub jitter_seed: u64,
+    /// Connection options for loopback and peer clients.
+    pub client: ClientOptions,
+    /// Ceiling in rounds on the down-peer attempt backoff.
+    pub backoff_cap: u64,
+}
+
+impl Default for ReplicaOptions {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_secs(1),
+            jitter_seed: 0x414e_5445_4e54_5259, // "ANTENTRY"
+            client: ClientOptions::default(),
+            backoff_cap: crate::peer::BACKOFF_CAP_ROUNDS,
+        }
+    }
+}
+
+/// Why one peer's sync attempt failed. Every variant marks the peer
+/// failed for the round; none of them stops the engine or degrades the
+/// local store.
+#[derive(Debug)]
+pub enum SyncError {
+    /// Transport or server-reported failure talking to the peer (or to
+    /// the local daemon over loopback).
+    Client(ClientError),
+    /// The peer violated the replication protocol: a digest cursor that
+    /// did not advance, more digests than the cap, a SYNC reply that is
+    /// not a prefix of the request, or an empty reply to a non-empty
+    /// request.
+    Protocol(String),
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::Client(e) => write!(f, "sync exchange failed: {e}"),
+            SyncError::Protocol(detail) => write!(f, "peer violated protocol: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SyncError::Client(e) => Some(e),
+            SyncError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<ClientError> for SyncError {
+    fn from(e: ClientError) -> Self {
+        SyncError::Client(e)
+    }
+}
+
+/// A running anti-entropy engine. [`AntiEntropy::stop`] (or drop) ends
+/// it; the loop notices within one poll tick even mid-sleep.
+pub struct AntiEntropy {
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl AntiEntropy {
+    /// Spawn the engine for the daemon at `local` (loopback address of
+    /// our own server) against `peers`, publishing per-round state into
+    /// `status` (obtain it from `ServerHandle::replication()`).
+    pub fn spawn(
+        local: SocketAddr,
+        peers: &[SocketAddr],
+        status: Arc<ReplicationStatus>,
+        opts: ReplicaOptions,
+    ) -> io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let peers = peers.to_vec();
+        let thread = thread::Builder::new()
+            .name("hmh-replica-engine".into())
+            .spawn(move || engine_loop(local, &peers, &status, &opts, &stop_flag))?;
+        Ok(Self { stop, thread: Some(thread) })
+    }
+
+    /// Signal the engine to stop and wait for the in-flight round to
+    /// finish.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            // An engine that panicked has nothing left to join for.
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for AntiEntropy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn engine_loop(
+    local: SocketAddr,
+    peers: &[SocketAddr],
+    status: &ReplicationStatus,
+    opts: &ReplicaOptions,
+    stop: &AtomicBool,
+) {
+    let mut trackers: Vec<(SocketAddr, PeerTracker)> = peers
+        .iter()
+        .map(|&addr| (addr, PeerTracker::new(addr.to_string()).with_backoff_cap(opts.backoff_cap)))
+        .collect();
+    // Pacing reuses the store's jittered backoff schedule with base =
+    // cap = interval: every sleep is interval..1.5×interval, and the
+    // jitter stream advances each round so replicas stay decorrelated.
+    let mut pacing = RetryPolicy::default().with_jitter_seed(opts.jitter_seed);
+    pacing.base_delay = opts.interval;
+    pacing.max_delay = opts.interval;
+
+    let mut round = 0u64;
+    status.publish(round, trackers.iter().map(|(_, t)| t.health(round)).collect());
+    while !stop.load(Ordering::SeqCst) {
+        round += 1;
+        for (addr, tracker) in &mut trackers {
+            if !tracker.should_attempt(round) || stop.load(Ordering::SeqCst) {
+                continue;
+            }
+            match sync_with_peer(local, *addr, opts) {
+                Ok(mismatches) => tracker.record_success(round, mismatches),
+                Err(_) => tracker.record_failure(round),
+            }
+        }
+        status.publish(round, trackers.iter().map(|(_, t)| t.health(round)).collect());
+        sleep_sliced(pacing.backoff_delay(1), stop);
+    }
+}
+
+/// Sleep for `total`, re-checking the stop flag every poll tick so
+/// shutdown is never blocked behind a full interval.
+fn sleep_sliced(total: Duration, stop: &AtomicBool) {
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !stop.load(Ordering::SeqCst) {
+        let slice = remaining.min(POLL_TICK);
+        thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+    }
+}
+
+/// One full sync against one peer: digest diff, then divergence pull.
+/// Returns the number of divergent names repaired. Fresh connections
+/// per attempt — cached idle connections would pin a worker on every
+/// peer between rounds.
+pub fn sync_with_peer(
+    local: SocketAddr,
+    peer: SocketAddr,
+    opts: &ReplicaOptions,
+) -> Result<u64, SyncError> {
+    let mut local_client = Client::with_options(local, opts.client.clone());
+    let mut peer_client = Client::with_options(peer, opts.client.clone());
+
+    let local_digests = fetch_digests(&mut local_client)?;
+    let peer_digests = fetch_digests(&mut peer_client)?;
+
+    // Pull-based diff: names the peer holds that we lack or disagree
+    // on. Names only *we* hold are not our problem this round — the
+    // peer's own engine pulls them from us, which keeps each round's
+    // work (and failure domain) strictly one-directional.
+    let divergent: Vec<String> = peer_digests
+        .iter()
+        .filter(|(name, checksum)| local_digests.get(name.as_str()) != Some(checksum))
+        .map(|(name, _)| name.clone())
+        .collect();
+    if divergent.is_empty() {
+        return Ok(0);
+    }
+    pull_divergent(&mut peer_client, &mut local_client, &divergent)
+}
+
+/// All digest pages from one daemon, as a sorted name → checksum map.
+/// Hostile pagination is bounded: entries must arrive in strictly
+/// increasing name order (so the cursor provably advances) and the
+/// total is capped at [`MAX_TRACKED_DIGESTS`].
+fn fetch_digests(
+    client: &mut Client,
+) -> Result<std::collections::BTreeMap<String, u64>, SyncError> {
+    let mut digests = std::collections::BTreeMap::new();
+    let mut cursor = String::new();
+    loop {
+        let page = client.digests(&cursor)?;
+        let page_len = page.len();
+        if page_len > MAX_DIGEST_ENTRIES {
+            return Err(SyncError::Protocol(format!(
+                "digest page of {page_len} entries exceeds the {MAX_DIGEST_ENTRIES} cap"
+            )));
+        }
+        for entry in page {
+            if entry.name.as_str() <= cursor.as_str() {
+                return Err(SyncError::Protocol(format!(
+                    "digest cursor did not advance at {:?}",
+                    entry.name
+                )));
+            }
+            cursor = entry.name.clone();
+            digests.insert(entry.name, entry.checksum);
+            if digests.len() > MAX_TRACKED_DIGESTS {
+                return Err(SyncError::Protocol(format!(
+                    "peer claims more than {MAX_TRACKED_DIGESTS} names"
+                )));
+            }
+        }
+        if page_len < MAX_DIGEST_ENTRIES {
+            return Ok(digests);
+        }
+    }
+}
+
+/// Pull `names` from the peer in protocol-capped chunks and fold each
+/// returned sketch into the local daemon. The peer answers the longest
+/// prefix of each chunk that fits its frame budget; unanswered names
+/// are simply re-requested. An empty payload means the name vanished on
+/// the peer between digest and pull — skipped, the next round's digest
+/// won't list it.
+fn pull_divergent(
+    peer: &mut Client,
+    local: &mut Client,
+    names: &[String],
+) -> Result<u64, SyncError> {
+    let mut merged = 0u64;
+    let mut next = 0usize;
+    while next < names.len() {
+        let chunk = &names[next..(next + MAX_SYNC_NAMES).min(names.len())];
+        let reply = peer.sync(chunk)?;
+        if reply.is_empty() {
+            // A peer refusing to answer anything would spin this loop
+            // forever; make it the peer's failure instead.
+            return Err(SyncError::Protocol("empty SYNC reply to a non-empty request".into()));
+        }
+        if reply.len() > chunk.len() {
+            return Err(SyncError::Protocol(format!(
+                "SYNC reply has {} entries for a {}-name request",
+                reply.len(),
+                chunk.len()
+            )));
+        }
+        for (entry, requested) in reply.iter().zip(chunk) {
+            if &entry.name != requested {
+                return Err(SyncError::Protocol(format!(
+                    "SYNC reply entry {:?} is not the requested {requested:?}",
+                    entry.name
+                )));
+            }
+            if entry.payload.is_empty() {
+                continue;
+            }
+            // The local daemon validates the payload before writing; a
+            // hostile sketch dies there as a typed BAD_SKETCH.
+            local.merge_raw(&entry.name, &entry.payload)?;
+            merged = merged.saturating_add(1);
+        }
+        next += reply.len();
+    }
+    Ok(merged)
+}

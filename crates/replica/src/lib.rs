@@ -1,0 +1,47 @@
+//! Merge-based anti-entropy for `hmh-serve` clusters.
+//!
+//! A HyperMinHash sketch is a state-based CRDT: the paper's union
+//! (Algorithm 2) is a lossless per-register max, so it is idempotent,
+//! commutative and associative, and replicas that exchange and merge
+//! sketches converge to the exact single-node state regardless of
+//! delivery order, duplication or loss. This crate is the machinery
+//! that makes a cluster of daemons exploit that: each daemon runs an
+//! [`AntiEntropy`] engine that periodically exchanges per-name digests
+//! with its peers over two protocol ops (DIGEST and SYNC), pulls only
+//! the divergent sketches, and folds them in through its own daemon's
+//! MERGE path — serialized behind the store lock, validated like any
+//! other write.
+//!
+//! Peer liveness is tracked with a healthy → suspect → down ladder
+//! ([`PeerTracker`]) whose down-state attempts back off exponentially
+//! in rounds, capped — a dead peer costs the cluster a bounded trickle
+//! of connection attempts, never a reconnect storm. Per-peer state and
+//! round counts are published into the daemon's HEALTH response via
+//! [`hmh_serve::ReplicationStatus`].
+//!
+//! ```no_run
+//! use hmh_replica::{AntiEntropy, ReplicaOptions};
+//! use hmh_serve::{serve, ServeOptions};
+//!
+//! let handle = serve("/var/lib/hmh", "127.0.0.1:7700", ServeOptions::default()).unwrap();
+//! let peers = vec!["10.0.0.8:7700".parse().unwrap()];
+//! let engine = AntiEntropy::spawn(
+//!     handle.addr(),
+//!     &peers,
+//!     handle.replication(),
+//!     ReplicaOptions::default(),
+//! )
+//! .unwrap();
+//! // ... serve traffic; the cluster converges in the background ...
+//! engine.stop();
+//! handle.join();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod peer;
+
+pub use engine::{sync_with_peer, AntiEntropy, ReplicaOptions, SyncError, MAX_TRACKED_DIGESTS};
+pub use peer::{PeerTracker, BACKOFF_CAP_ROUNDS, DOWN_AFTER};

@@ -1,0 +1,201 @@
+//! Per-peer health tracking: healthy → suspect → down, with capped
+//! exponential backoff on attempts against a down peer.
+//!
+//! The tracker exists to prevent the reconnect storm: a dead peer must
+//! not be dialed every round by every replica forever. Failures promote
+//! a peer through [`PeerState::Suspect`] (still tried every round — one
+//! lost exchange is routine) to [`PeerState::Down`], at which point
+//! attempts thin out exponentially in *rounds* (not wall clock, so the
+//! schedule is deterministic under test) up to a cap. Any success snaps
+//! the peer straight back to healthy — there is no half-recovered state
+//! to reason about.
+
+use hmh_serve::{PeerHealth, PeerState};
+
+/// Consecutive failures at which a peer is declared down (before that it
+/// is merely suspect).
+pub const DOWN_AFTER: u32 = 3;
+
+/// Ceiling on how many rounds a down peer is skipped between attempts.
+pub const BACKOFF_CAP_ROUNDS: u64 = 16;
+
+/// Health state machine for one peer address.
+#[derive(Debug, Clone)]
+pub struct PeerTracker {
+    addr: String,
+    /// Consecutive failed sync attempts; any success resets to zero.
+    failures: u32,
+    /// Rounds strictly before this one skip the peer entirely.
+    skip_until: u64,
+    /// Round of the last successful sync, if any.
+    last_success: Option<u64>,
+    /// Total digest mismatches repaired against this peer (monotonic).
+    mismatches: u64,
+    /// Rounds a down peer waits before the next attempt; doubles per
+    /// failure once down, capped at [`BACKOFF_CAP_ROUNDS`].
+    backoff_cap: u64,
+}
+
+impl PeerTracker {
+    /// Fresh tracker for `addr`: healthy, never synced.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            failures: 0,
+            skip_until: 0,
+            last_success: None,
+            mismatches: 0,
+            backoff_cap: BACKOFF_CAP_ROUNDS,
+        }
+    }
+
+    /// This tracker with a different backoff ceiling (tests shrink it).
+    pub fn with_backoff_cap(mut self, cap: u64) -> Self {
+        self.backoff_cap = cap.max(1);
+        self
+    }
+
+    /// The peer's address as configured.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Current state under the healthy → suspect → down ladder.
+    pub fn state(&self) -> PeerState {
+        match self.failures {
+            0 => PeerState::Healthy,
+            f if f < DOWN_AFTER => PeerState::Suspect,
+            _ => PeerState::Down,
+        }
+    }
+
+    /// Whether round `round` should attempt this peer. Healthy and
+    /// suspect peers are always attempted; down peers only once their
+    /// backoff window has passed.
+    pub fn should_attempt(&self, round: u64) -> bool {
+        round >= self.skip_until
+    }
+
+    /// Record a successful sync in `round` that repaired `mismatches`
+    /// divergent names. Snaps the peer back to healthy.
+    pub fn record_success(&mut self, round: u64, mismatches: u64) {
+        self.failures = 0;
+        self.skip_until = 0;
+        self.last_success = Some(round);
+        self.mismatches = self.mismatches.saturating_add(mismatches);
+    }
+
+    /// Record a failed sync attempt in `round`. Once the peer is down,
+    /// each further failure doubles the number of rounds skipped before
+    /// the next attempt, up to the cap — the "never a reconnect storm"
+    /// guarantee.
+    pub fn record_failure(&mut self, round: u64) {
+        self.failures = self.failures.saturating_add(1);
+        if self.failures >= DOWN_AFTER {
+            let exponent = u64::from((self.failures - DOWN_AFTER).min(32));
+            let skip = 1u64.checked_shl(clamp_u32(exponent)).unwrap_or(u64::MAX);
+            self.skip_until = round.saturating_add(skip.min(self.backoff_cap)).saturating_add(1);
+        }
+    }
+
+    /// Wire-facing snapshot for the HEALTH response, as of `round`.
+    /// `last_sync_age` is in rounds; `u64::MAX` means "never synced".
+    pub fn health(&self, round: u64) -> PeerHealth {
+        PeerHealth {
+            addr: self.addr.clone(),
+            state: self.state(),
+            last_sync_age: self.last_success.map_or(u64::MAX, |last| round.saturating_sub(last)),
+            mismatches: self.mismatches,
+        }
+    }
+}
+
+fn clamp_u32(n: u64) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_healthy_suspect_down() {
+        let mut t = PeerTracker::new("127.0.0.1:1");
+        assert_eq!(t.state(), PeerState::Healthy);
+        t.record_failure(1);
+        assert_eq!(t.state(), PeerState::Suspect);
+        t.record_failure(2);
+        assert_eq!(t.state(), PeerState::Suspect);
+        t.record_failure(3);
+        assert_eq!(t.state(), PeerState::Down);
+    }
+
+    #[test]
+    fn suspect_peers_are_still_attempted_every_round() {
+        let mut t = PeerTracker::new("127.0.0.1:1");
+        t.record_failure(1);
+        t.record_failure(2);
+        assert_eq!(t.state(), PeerState::Suspect);
+        for round in 3..10 {
+            assert!(t.should_attempt(round), "round {round}");
+        }
+    }
+
+    #[test]
+    fn down_peer_backoff_doubles_and_caps() {
+        let mut t = PeerTracker::new("127.0.0.1:1").with_backoff_cap(8);
+        let mut round = 0u64;
+        let mut gaps = Vec::new();
+        for _ in 0..8 {
+            // Advance to the next permitted attempt and fail it.
+            let start = round;
+            round += 1;
+            while !t.should_attempt(round) {
+                round += 1;
+            }
+            gaps.push(round - start);
+            t.record_failure(round);
+        }
+        // First failures are immediate retries (suspect), then the gap
+        // doubles (2, 3, 5 → skip 1, 2, 4 rounds + 1), then caps.
+        assert_eq!(t.state(), PeerState::Down);
+        let max_gap = *gaps.iter().max().expect("invariant: eight gaps recorded");
+        assert!(max_gap <= 8 + 2, "cap must bound the gap, got {gaps:?}");
+        let tail = gaps[gaps.len() - 1];
+        assert_eq!(tail, max_gap, "once capped, the gap stays capped: {gaps:?}");
+    }
+
+    #[test]
+    fn success_snaps_back_to_healthy() {
+        let mut t = PeerTracker::new("127.0.0.1:1");
+        for round in 1..=5 {
+            t.record_failure(round);
+        }
+        assert_eq!(t.state(), PeerState::Down);
+        t.record_success(9, 4);
+        assert_eq!(t.state(), PeerState::Healthy);
+        assert!(t.should_attempt(10));
+        let h = t.health(12);
+        assert_eq!(h.state, PeerState::Healthy);
+        assert_eq!(h.last_sync_age, 3);
+        assert_eq!(h.mismatches, 4);
+    }
+
+    #[test]
+    fn health_reports_never_synced_as_max_age() {
+        let t = PeerTracker::new("10.0.0.1:7700");
+        let h = t.health(100);
+        assert_eq!(h.last_sync_age, u64::MAX);
+        assert_eq!(h.addr, "10.0.0.1:7700");
+        assert_eq!(h.mismatches, 0);
+    }
+
+    #[test]
+    fn failure_counter_saturates() {
+        let mut t = PeerTracker::new("127.0.0.1:1");
+        t.failures = u32::MAX;
+        t.record_failure(u64::MAX - 1);
+        assert_eq!(t.state(), PeerState::Down);
+        assert!(!t.should_attempt(u64::MAX - 1), "backoff still applies at saturation");
+    }
+}

@@ -22,8 +22,8 @@ use hmh_hash::RandomOracle;
 use hmh_store::RetryPolicy;
 
 use crate::proto::{
-    decode_response, encode_request, read_frame, write_frame, ErrCode, FrameError, Health, Request,
-    Response, MAX_BATCH_ITEMS, MAX_FRAME_LEN, MAX_ITEM_LEN,
+    decode_response, encode_request, read_frame, write_frame, DigestEntry, ErrCode, FrameError,
+    Health, Request, Response, SyncEntry, MAX_BATCH_ITEMS, MAX_FRAME_LEN, MAX_ITEM_LEN,
 };
 
 /// Client configuration.
@@ -274,6 +274,48 @@ impl Client {
         }
     }
 
+    /// One page of replication digests: `(name, checksum)` pairs for
+    /// names strictly after `after` in sorted order (empty `after`
+    /// starts at the beginning). A page shorter than
+    /// [`crate::proto::MAX_DIGEST_ENTRIES`] is the last page.
+    pub fn digests(&mut self, after: &str) -> Result<Vec<DigestEntry>, ClientError> {
+        match self.request(&Request::Digest { after: after.to_string() })? {
+            Response::Digests(entries) => Ok(entries),
+            other => Err(unexpected(other, after)),
+        }
+    }
+
+    /// Pull stored sketch payloads for `names`. The server answers the
+    /// longest *prefix* of the request that fits its frame budget, so
+    /// the reply may be shorter than the request — re-request the
+    /// remainder. An entry with an empty payload means the name vanished
+    /// since the digest was taken.
+    pub fn sync(&mut self, names: &[String]) -> Result<Vec<SyncEntry>, ClientError> {
+        match self.request(&Request::Sync { names: names.to_vec() })? {
+            Response::Sketches(entries) => Ok(entries),
+            other => Err(unexpected(other, "")),
+        }
+    }
+
+    /// Fold an already-encoded sketch payload into `name` (creating it
+    /// if absent). The replication engine's apply path: the payload came
+    /// off another replica's wire and is deliberately *not* decoded
+    /// here — the receiving server validates it before any write, so a
+    /// hostile peer payload dies there as a typed BAD_SKETCH, never as a
+    /// local panic.
+    pub fn merge_raw(&mut self, name: &str, payload: &[u8]) -> Result<(), ClientError> {
+        let request = Request::Merge { name: name.to_string(), sketch: payload.to_vec() };
+        match self.request(&request)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
     /// Send one request, retrying transient transport failures and BUSY
     /// sheds under the configured backoff policy.
     fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -292,9 +334,11 @@ impl Client {
 
     /// One wire exchange. Any failure drops the cached connection so the
     /// next attempt reconnects from scratch — half-exchanged streams are
-    /// never reused.
+    /// never reused. Disconnect shapes the kernel reports under
+    /// non-transient kinds are reclassified here (see
+    /// [`reclassify_disconnect`]) so they ride the retry loop.
     fn exchange(&mut self, body: &[u8]) -> io::Result<Vec<u8>> {
-        let result = self.try_exchange(body);
+        let result = self.try_exchange(body).map_err(reclassify_disconnect);
         if result.is_err() {
             self.conn = None;
         }
@@ -354,6 +398,29 @@ impl Client {
     }
 }
 
+/// Reclassify a mid-exchange disconnect as transient.
+///
+/// The kernel reports "the peer hung up on us" under several kinds the
+/// store's [`hmh_store::is_transient`] does not cover: `UnexpectedEof`
+/// (connection closed inside a reply frame), `BrokenPipe` (closed while
+/// our request bytes were in flight), and `NotConnected` (closed before
+/// the socket settled). For this protocol they all mean the same thing a
+/// `ConnectionReset` means — the daemon restarted, deadlined us, or shed
+/// load without a BUSY frame landing — and every operation the client
+/// can send is idempotent (PUT overwrites, MERGE folds a fixed payload
+/// into a max-register lattice, BATCH_PUT re-inserts items into a
+/// sketch, reads read), so retrying an *ambiguous* outcome is safe even
+/// if the first attempt actually committed. Wrapping (not replacing)
+/// keeps the original error as `source()` for diagnostics.
+fn reclassify_disconnect(e: io::Error) -> io::Error {
+    match e.kind() {
+        io::ErrorKind::UnexpectedEof | io::ErrorKind::BrokenPipe | io::ErrorKind::NotConnected => {
+            io::Error::new(io::ErrorKind::ConnectionReset, e)
+        }
+        _ => e,
+    }
+}
+
 /// Pull the sketch name back out of a NOT_FOUND message ("no sketch
 /// named \"x\"") — best effort; falls back to the whole message.
 fn extract_name(message: &str) -> String {
@@ -362,6 +429,140 @@ fn extract_name(message: &str) -> String {
 
 fn unexpected(resp: Response, context: &str) -> ClientError {
     ClientError::BadReply(format!("unexpected response variant for {context:?}: {resp:?}"))
+}
+
+/// A client over an *ordered list* of replicas that fails over between
+/// them: each operation gets a per-op attempt budget, and any attempt
+/// that dies for a reason another replica could answer — a transport
+/// failure after the single-node retries, a BUSY shed, a read-only
+/// refusal — rotates to the next replica in the ring and tries again.
+///
+/// Failover is only sound because every operation is idempotent: PUT
+/// overwrites, MERGE folds a fixed payload into a max-register lattice
+/// (Algorithm 2's union — applying it twice is the same as once),
+/// BATCH_PUT re-inserts items into a sketch, and reads read. An
+/// ambiguous first attempt (request sent, reply lost) that actually
+/// committed is therefore indistinguishable from one that did not, and
+/// retrying against a *different* replica merely creates divergence that
+/// anti-entropy is already required to repair. Server-reported
+/// [`ClientError::NotFound`] and typed errors are final — every healthy
+/// replica would answer the same, so rotating would only spend the
+/// budget on identical refusals.
+pub struct FailoverClient {
+    replicas: Vec<Client>,
+    current: usize,
+    attempts: u32,
+}
+
+impl FailoverClient {
+    /// Failover client over `addrs` (tried in order, starting at the
+    /// first) with default options and an attempt budget of one try per
+    /// replica plus one.
+    ///
+    /// # Panics
+    /// With an empty address list — a client with no one to call is a
+    /// configuration bug, not a runtime state.
+    pub fn connect(addrs: &[SocketAddr]) -> Self {
+        let attempts = u32::try_from(addrs.len()).unwrap_or(u32::MAX).saturating_add(1);
+        Self::with_options(addrs, ClientOptions::default(), attempts)
+    }
+
+    /// Failover client with explicit per-replica options and a per-op
+    /// attempt budget (each attempt is one full single-replica call,
+    /// including that replica's own transient-retry backoff).
+    ///
+    /// # Panics
+    /// With an empty address list.
+    pub fn with_options(addrs: &[SocketAddr], opts: ClientOptions, attempts: u32) -> Self {
+        assert!(!addrs.is_empty(), "failover client needs at least one replica address");
+        let replicas =
+            addrs.iter().map(|&addr| Client::with_options(addr, opts.clone())).collect();
+        Self { replicas, current: 0, attempts: attempts.max(1) }
+    }
+
+    /// The replica the next operation will try first.
+    pub fn current_addr(&self) -> SocketAddr {
+        self.replicas[self.current].addr()
+    }
+
+    /// Store `sketch` under `name` on whichever replica answers.
+    pub fn put(&mut self, name: &str, sketch: &HyperMinHash) -> Result<(), ClientError> {
+        self.with_failover(|c| c.put(name, sketch))
+    }
+
+    /// Fold `sketch` into `name` on whichever replica answers.
+    pub fn merge(&mut self, name: &str, sketch: &HyperMinHash) -> Result<(), ClientError> {
+        self.with_failover(|c| c.merge(name, sketch))
+    }
+
+    /// Ingest raw items into `name` on whichever replica answers. One
+    /// logical call may span several frames; a failover mid-stream can
+    /// replay frames against the new replica, which is safe because
+    /// item insertion is idempotent.
+    pub fn batch_put(
+        &mut self,
+        name: &str,
+        params: HmhParams,
+        oracle: RandomOracle,
+        items: &[&[u8]],
+    ) -> Result<(), ClientError> {
+        self.with_failover(|c| c.batch_put(name, params, oracle, items))
+    }
+
+    /// Fetch the sketch under `name` from whichever replica answers.
+    pub fn get(&mut self, name: &str) -> Result<HyperMinHash, ClientError> {
+        self.with_failover(|c| c.get(name))
+    }
+
+    /// Cardinality estimate from whichever replica answers.
+    pub fn card(&mut self, name: &str) -> Result<f64, ClientError> {
+        self.with_failover(|c| c.card(name))
+    }
+
+    /// Jaccard estimate from whichever replica answers.
+    pub fn jaccard(&mut self, a: &str, b: &str) -> Result<f64, ClientError> {
+        self.with_failover(|c| c.jaccard(a, b))
+    }
+
+    /// Stored names from whichever replica answers.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        self.with_failover(|c| c.list())
+    }
+
+    /// Health snapshot from whichever replica answers.
+    pub fn health(&mut self) -> Result<Health, ClientError> {
+        self.with_failover(|c| c.health())
+    }
+
+    /// Ask the *current* replica to drain and exit. Deliberately no
+    /// failover: "shut down" rotated across the ring would take the
+    /// whole cluster down one timeout at a time.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.replicas[self.current].shutdown()
+    }
+
+    /// Run `op` against the current replica, rotating on failures a
+    /// different replica could survive, until it succeeds, fails
+    /// finally, or the attempt budget runs out.
+    fn with_failover<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut last_err = None;
+        for _ in 0..self.attempts {
+            match op(&mut self.replicas[self.current]) {
+                // Worth a different replica: this one is unreachable,
+                // overloaded, or refusing writes in degraded mode.
+                Err(e @ (ClientError::Io(_) | ClientError::Busy | ClientError::ReadOnly)) => {
+                    self.current = (self.current + 1) % self.replicas.len();
+                    last_err = Some(e);
+                }
+                // Success, or a final answer every replica would repeat.
+                other => return other,
+            }
+        }
+        Err(last_err.expect("invariant: attempts ≥ 1, so a rotation recorded its error"))
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +575,22 @@ mod tests {
         assert!(is_busy(&e));
         assert!(hmh_store::is_transient(&e), "busy must ride the retry loop");
         assert!(!is_busy(&io::Error::new(io::ErrorKind::WouldBlock, "plain")));
+    }
+
+    #[test]
+    fn mid_exchange_disconnects_reclassify_as_transient() {
+        for kind in
+            [io::ErrorKind::UnexpectedEof, io::ErrorKind::BrokenPipe, io::ErrorKind::NotConnected]
+        {
+            let wrapped = reclassify_disconnect(io::Error::new(kind, "peer went away"));
+            assert_eq!(wrapped.kind(), io::ErrorKind::ConnectionReset, "{kind:?}");
+            assert!(hmh_store::is_transient(&wrapped), "{kind:?} must ride the retry loop");
+            let source = wrapped.get_ref().expect("invariant: original error kept as source");
+            assert!(source.to_string().contains("peer went away"));
+        }
+        // Genuinely fatal kinds pass through untouched.
+        let fatal = reclassify_disconnect(io::Error::new(io::ErrorKind::PermissionDenied, "no"));
+        assert_eq!(fatal.kind(), io::ErrorKind::PermissionDenied);
     }
 
     #[test]

@@ -35,8 +35,9 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientOptions};
+pub use client::{Client, ClientError, ClientOptions, FailoverClient};
 pub use proto::{
-    ErrCode, Health, ProtoError, Request, Response, MAX_BATCH_ITEMS, MAX_FRAME_LEN, MAX_ITEM_LEN,
+    DigestEntry, ErrCode, Health, PeerHealth, PeerState, ProtoError, Request, Response, SyncEntry,
+    MAX_BATCH_ITEMS, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN, MAX_ITEM_LEN, MAX_PEERS, MAX_SYNC_NAMES,
 };
-pub use server::{serve, ServeError, ServeOptions, ServerHandle};
+pub use server::{serve, ReplicationStatus, ServeError, ServeOptions, ServerHandle};

@@ -51,6 +51,25 @@ pub const MAX_BATCH_ITEMS: usize = 16 * 1024;
 /// Maximum byte length of one `BATCH_PUT` item.
 pub const MAX_ITEM_LEN: usize = 1024;
 
+/// Maximum digest entries one `DIGEST` response carries. Pagination (the
+/// request's `after` cursor) covers stores with more names; the cap
+/// keeps a worst-case page (max-length names) well under
+/// [`MAX_FRAME_LEN`] and bounds what a lying count can make a reader
+/// loop over.
+pub const MAX_DIGEST_ENTRIES: usize = 2048;
+
+/// Maximum names one `SYNC` request may ask for. The *response* is
+/// additionally bounded by the frame budget: the server answers the
+/// longest prefix of the requested names whose sketches fit one frame,
+/// and the caller re-requests the rest.
+pub const MAX_SYNC_NAMES: usize = 256;
+
+/// Maximum peers a `HEALTH` response enumerates (and a daemon accepts).
+pub const MAX_PEERS: usize = 64;
+
+/// Maximum byte length of a peer address string in `HEALTH`.
+pub const MAX_PEER_ADDR_LEN: usize = 256;
+
 /// Request opcodes.
 mod op {
     pub const PUT: u8 = 1;
@@ -62,6 +81,8 @@ mod op {
     pub const HEALTH: u8 = 7;
     pub const SHUTDOWN: u8 = 8;
     pub const BATCH_PUT: u8 = 9;
+    pub const DIGEST: u8 = 10;
+    pub const SYNC: u8 = 11;
 }
 
 /// Response status bytes.
@@ -71,6 +92,8 @@ mod status {
     pub const VALUE: u8 = 2;
     pub const NAMES: u8 = 3;
     pub const HEALTH: u8 = 4;
+    pub const DIGESTS: u8 = 5;
+    pub const SKETCHES: u8 = 6;
     pub const BUSY: u8 = 0x40;
     pub const READ_ONLY: u8 = 0x41;
     pub const ERR: u8 = 0x7f;
@@ -189,8 +212,107 @@ pub enum Request {
     List,
     /// Service health and degradation state.
     Health,
+    /// One page of per-key digests for anti-entropy: `(name, checksum)`
+    /// pairs for stored names strictly greater than `after` (sorted),
+    /// at most [`MAX_DIGEST_ENTRIES`] per page. An empty `after` starts
+    /// from the first name.
+    Digest {
+        /// Pagination cursor: return names strictly after this one.
+        /// Empty means "from the beginning".
+        after: String,
+    },
+    /// Pull encoded sketches by name for anti-entropy. The response
+    /// covers the longest *prefix* of `names` whose payloads fit one
+    /// frame; callers re-request the remainder. A requested name that no
+    /// longer exists answers with an empty payload.
+    Sync {
+        /// Names to fetch, at most [`MAX_SYNC_NAMES`].
+        names: Vec<String>,
+    },
     /// Drain queued connections, then exit.
     Shutdown,
+}
+
+/// One `(name, checksum)` pair in a `DIGEST` response. The checksum is
+/// xxHash64 over the stored encoded payload (seed
+/// `hmh_store::log::DIGEST_SEED`), so equal checksums mean byte-equal
+/// sketches up to hash collision — and anti-entropy convergence is
+/// checked against exactly the bytes [`hmh_core::format::encode`]
+/// produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// Stored sketch name.
+    pub name: String,
+    /// xxHash64 of the stored encoded payload.
+    pub checksum: u64,
+}
+
+/// One `(name, payload)` pair in a `SYNC` response. An empty payload
+/// means the name vanished between DIGEST and SYNC (deleted mid-round);
+/// callers skip it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncEntry {
+    /// Stored sketch name.
+    pub name: String,
+    /// Encoded `HMH1` payload; empty when the name no longer exists.
+    pub payload: Vec<u8>,
+}
+
+/// Replication health of one configured peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Last anti-entropy round against this peer succeeded.
+    Healthy,
+    /// Recent rounds failed, but not enough to declare the peer down.
+    Suspect,
+    /// Enough consecutive failures that sync attempts are backed off.
+    Down,
+}
+
+impl PeerState {
+    /// Wire byte for this state.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            PeerState::Healthy => 0,
+            PeerState::Suspect => 1,
+            PeerState::Down => 2,
+        }
+    }
+
+    /// State for a wire byte.
+    pub fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(PeerState::Healthy),
+            1 => Ok(PeerState::Suspect),
+            2 => Ok(PeerState::Down),
+            other => Err(ProtoError::UnknownEnum(other)),
+        }
+    }
+}
+
+impl fmt::Display for PeerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerState::Healthy => write!(f, "healthy"),
+            PeerState::Suspect => write!(f, "suspect"),
+            PeerState::Down => write!(f, "down"),
+        }
+    }
+}
+
+/// Per-peer replication fields inside a `HEALTH` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerHealth {
+    /// Peer address as configured (display form).
+    pub addr: String,
+    /// Current health state.
+    pub state: PeerState,
+    /// Anti-entropy rounds since the last successful sync with this
+    /// peer; `u64::MAX` when no round has ever succeeded.
+    pub last_sync_age: u64,
+    /// Cumulative digest mismatches observed against this peer (keys
+    /// pulled because their checksums diverged or were missing locally).
+    pub mismatches: u64,
 }
 
 /// Service health snapshot (the HEALTH response payload).
@@ -218,6 +340,12 @@ pub struct Health {
     pub quarantined: u64,
     /// True when the current scan sees a torn tail.
     pub truncated_tail: bool,
+    /// Anti-entropy rounds completed since start (0 when the daemon runs
+    /// without replication).
+    pub rounds: u64,
+    /// Configured replication peers and their health (empty when the
+    /// daemon runs without replication).
+    pub peers: Vec<PeerHealth>,
 }
 
 /// A server response.
@@ -233,6 +361,11 @@ pub enum Response {
     Names(Vec<String>),
     /// Health snapshot.
     Health(Health),
+    /// One page of per-key digests (the `DIGEST` reply).
+    Digests(Vec<DigestEntry>),
+    /// Encoded sketches pulled by name (the `SYNC` reply) — the longest
+    /// prefix of the requested names that fits one frame.
+    Sketches(Vec<SyncEntry>),
     /// The accept queue was full; try again later.
     Busy,
     /// The service is degraded to read-only; writes are refused.
@@ -271,6 +404,8 @@ pub enum ProtoError {
     UnknownStatus(u8),
     /// A name or message was not valid UTF-8, or a name was empty.
     BadString,
+    /// An enumerated field (peer state) carried an unknown value.
+    UnknownEnum(u8),
     /// Parse finished with bytes left over.
     TrailingBytes(usize),
 }
@@ -288,6 +423,7 @@ impl fmt::Display for ProtoError {
             ProtoError::UnknownOp(o) => write!(f, "unknown opcode {o}"),
             ProtoError::UnknownStatus(s) => write!(f, "unknown response status {s}"),
             ProtoError::BadString => write!(f, "name or message is empty or not valid UTF-8"),
+            ProtoError::UnknownEnum(b) => write!(f, "unknown enum value {b}"),
             ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
         }
     }
@@ -431,6 +567,15 @@ fn push_blob(out: &mut Vec<u8>, blob: &[u8]) {
     out.extend_from_slice(blob);
 }
 
+/// A pagination cursor: shaped like a name on the wire, but legitimately
+/// empty ("start from the beginning").
+fn push_cursor(out: &mut Vec<u8>, cursor: &str) {
+    assert!(cursor.len() <= MAX_NAME_LEN, "invariant: cursors are stored names or empty");
+    let len = u16::try_from(cursor.len()).expect("invariant: MAX_NAME_LEN fits u16");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(cursor.as_bytes());
+}
+
 fn push_message(out: &mut Vec<u8>, message: &str) {
     // Messages are server-generated; truncate defensively rather than
     // trust them to stay short.
@@ -488,6 +633,19 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 out.extend_from_slice(item);
             }
         }
+        Request::Digest { after } => {
+            out.push(op::DIGEST);
+            push_cursor(&mut out, after);
+        }
+        Request::Sync { names } => {
+            out.push(op::SYNC);
+            assert!(names.len() <= MAX_SYNC_NAMES, "invariant: callers cap sync name counts");
+            let count = u16::try_from(names.len()).expect("invariant: MAX_SYNC_NAMES fits u16");
+            out.extend_from_slice(&count.to_le_bytes());
+            for name in names {
+                push_name(&mut out, name);
+            }
+        }
         Request::List => out.push(op::LIST),
         Request::Health => out.push(op::HEALTH),
         Request::Shutdown => out.push(op::SHUTDOWN),
@@ -529,6 +687,44 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(u8::from(h.store_clean));
             out.extend_from_slice(&h.quarantined.to_le_bytes());
             out.push(u8::from(h.truncated_tail));
+            out.extend_from_slice(&h.rounds.to_le_bytes());
+            assert!(h.peers.len() <= MAX_PEERS, "invariant: daemons cap peer lists");
+            let count = u16::try_from(h.peers.len()).expect("invariant: MAX_PEERS fits u16");
+            out.extend_from_slice(&count.to_le_bytes());
+            for peer in &h.peers {
+                assert!(
+                    !peer.addr.is_empty() && peer.addr.len() <= MAX_PEER_ADDR_LEN,
+                    "invariant: peer addresses are validated at configuration time"
+                );
+                let len =
+                    u16::try_from(peer.addr.len()).expect("invariant: MAX_PEER_ADDR_LEN fits u16");
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(peer.addr.as_bytes());
+                out.push(peer.state.to_byte());
+                out.extend_from_slice(&peer.last_sync_age.to_le_bytes());
+                out.extend_from_slice(&peer.mismatches.to_le_bytes());
+            }
+        }
+        Response::Digests(entries) => {
+            out.push(status::DIGESTS);
+            assert!(entries.len() <= MAX_DIGEST_ENTRIES, "invariant: servers cap digest pages");
+            let count =
+                u16::try_from(entries.len()).expect("invariant: MAX_DIGEST_ENTRIES fits u16");
+            out.extend_from_slice(&count.to_le_bytes());
+            for entry in entries {
+                push_name(&mut out, &entry.name);
+                out.extend_from_slice(&entry.checksum.to_le_bytes());
+            }
+        }
+        Response::Sketches(entries) => {
+            out.push(status::SKETCHES);
+            assert!(entries.len() <= MAX_SYNC_NAMES, "invariant: servers cap sync replies");
+            let count = u16::try_from(entries.len()).expect("invariant: MAX_SYNC_NAMES fits u16");
+            out.extend_from_slice(&count.to_le_bytes());
+            for entry in entries {
+                push_name(&mut out, &entry.name);
+                push_blob(&mut out, &entry.payload);
+            }
         }
         Response::Busy => out.push(status::BUSY),
         Response::ReadOnly => out.push(status::READ_ONLY),
@@ -611,6 +807,17 @@ impl<'a> Cursor<'a> {
         std::str::from_utf8(bytes).map(str::to_string).map_err(|_| ProtoError::BadString)
     }
 
+    /// A pagination cursor: length-checked like a name but legitimately
+    /// empty.
+    fn cursor(&mut self) -> Result<String, ProtoError> {
+        let len = usize::from(self.u16()?);
+        if len > MAX_NAME_LEN {
+            return Err(ProtoError::FieldTooLarge { got: len, max: MAX_NAME_LEN });
+        }
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map(str::to_string).map_err(|_| ProtoError::BadString)
+    }
+
     /// A message string like [`Cursor::name`] but possibly empty.
     fn message(&mut self) -> Result<String, ProtoError> {
         let len = usize::from(self.u16()?);
@@ -679,6 +886,20 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
             }
             Request::BatchPut { name, p, q, r, algorithm, seed, items }
         }
+        op::DIGEST => Request::Digest { after: c.cursor()? },
+        op::SYNC => {
+            let count = usize::from(c.u16()?);
+            if count > MAX_SYNC_NAMES {
+                return Err(ProtoError::FieldTooLarge { got: count, max: MAX_SYNC_NAMES });
+            }
+            // Bound the allocation by bytes present: each name costs ≥ 3
+            // wire bytes, so a lying count fails fast on Truncated.
+            let mut names = Vec::with_capacity(count.min(c.remaining() / 3 + 1));
+            for _ in 0..count {
+                names.push(c.name()?);
+            }
+            Request::Sync { names }
+        }
         op::LIST => Request::List,
         op::HEALTH => Request::Health,
         op::SHUTDOWN => Request::Shutdown,
@@ -705,19 +926,70 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::Names(names)
         }
-        status::HEALTH => Response::Health(Health {
-            read_only: c.flag()?,
-            workers: c.u32()?,
-            queue_capacity: c.u32()?,
-            queue_depth: c.u32()?,
-            active: c.u32()?,
-            shed: c.u64()?,
-            served: c.u64()?,
-            sketches: c.u64()?,
-            store_clean: c.flag()?,
-            quarantined: c.u64()?,
-            truncated_tail: c.flag()?,
-        }),
+        status::HEALTH => {
+            let mut h = Health {
+                read_only: c.flag()?,
+                workers: c.u32()?,
+                queue_capacity: c.u32()?,
+                queue_depth: c.u32()?,
+                active: c.u32()?,
+                shed: c.u64()?,
+                served: c.u64()?,
+                sketches: c.u64()?,
+                store_clean: c.flag()?,
+                quarantined: c.u64()?,
+                truncated_tail: c.flag()?,
+                rounds: c.u64()?,
+                peers: Vec::new(),
+            };
+            let count = usize::from(c.u16()?);
+            if count > MAX_PEERS {
+                return Err(ProtoError::FieldTooLarge { got: count, max: MAX_PEERS });
+            }
+            for _ in 0..count {
+                let len = usize::from(c.u16()?);
+                if len > MAX_PEER_ADDR_LEN {
+                    return Err(ProtoError::FieldTooLarge { got: len, max: MAX_PEER_ADDR_LEN });
+                }
+                if len == 0 {
+                    return Err(ProtoError::BadString);
+                }
+                let addr = std::str::from_utf8(c.take(len)?)
+                    .map(str::to_string)
+                    .map_err(|_| ProtoError::BadString)?;
+                h.peers.push(PeerHealth {
+                    addr,
+                    state: PeerState::from_byte(c.u8()?)?,
+                    last_sync_age: c.u64()?,
+                    mismatches: c.u64()?,
+                });
+            }
+            Response::Health(h)
+        }
+        status::DIGESTS => {
+            let count = usize::from(c.u16()?);
+            if count > MAX_DIGEST_ENTRIES {
+                return Err(ProtoError::FieldTooLarge { got: count, max: MAX_DIGEST_ENTRIES });
+            }
+            // Bound the allocation by bytes present: each entry costs
+            // ≥ 11 wire bytes, so a lying count fails fast on Truncated.
+            let mut entries = Vec::with_capacity(count.min(c.remaining() / 11 + 1));
+            for _ in 0..count {
+                entries.push(DigestEntry { name: c.name()?, checksum: c.u64()? });
+            }
+            Response::Digests(entries)
+        }
+        status::SKETCHES => {
+            let count = usize::from(c.u16()?);
+            if count > MAX_SYNC_NAMES {
+                return Err(ProtoError::FieldTooLarge { got: count, max: MAX_SYNC_NAMES });
+            }
+            let mut entries = Vec::with_capacity(count.min(c.remaining() / 7 + 1));
+            for _ in 0..count {
+                entries.push(SyncEntry { name: c.name()?, payload: c.blob()? });
+            }
+            Response::Sketches(entries)
+        }
         status::BUSY => Response::Busy,
         status::READ_ONLY => Response::ReadOnly,
         status::ERR => {
@@ -842,6 +1114,21 @@ mod tests {
             store_clean: false,
             quarantined: 2,
             truncated_tail: true,
+            rounds: 41,
+            peers: vec![
+                PeerHealth {
+                    addr: "10.0.0.7:7700".into(),
+                    state: PeerState::Healthy,
+                    last_sync_age: 0,
+                    mismatches: 12,
+                },
+                PeerHealth {
+                    addr: "10.0.0.8:7700".into(),
+                    state: PeerState::Down,
+                    last_sync_age: u64::MAX,
+                    mismatches: 0,
+                },
+            ],
         }));
         round_trip_response(Response::Busy);
         round_trip_response(Response::ReadOnly);
@@ -961,6 +1248,111 @@ mod tests {
                 let _ = decode_response(&body);
             }
         }
+    }
+
+    #[test]
+    fn replication_messages_round_trip() {
+        round_trip_request(Request::Digest { after: String::new() });
+        round_trip_request(Request::Digest { after: "cursor-name".into() });
+        round_trip_request(Request::Sync { names: vec!["a".into(), "b".into()] });
+        round_trip_request(Request::Sync {
+            names: (0..MAX_SYNC_NAMES).map(|i| format!("n{i}")).collect(),
+        });
+        round_trip_response(Response::Digests(Vec::new()));
+        round_trip_response(Response::Digests(vec![
+            DigestEntry { name: "alpha".into(), checksum: 0 },
+            DigestEntry { name: "beta".into(), checksum: u64::MAX },
+        ]));
+        round_trip_response(Response::Sketches(Vec::new()));
+        round_trip_response(Response::Sketches(vec![
+            SyncEntry { name: "full".into(), payload: vec![7; 513] },
+            SyncEntry { name: "vanished".into(), payload: Vec::new() },
+        ]));
+        round_trip_response(Response::Health(Health {
+            rounds: u64::MAX,
+            peers: Vec::new(),
+            ..Health::default()
+        }));
+    }
+
+    #[test]
+    fn peer_state_bytes_round_trip() {
+        for state in [PeerState::Healthy, PeerState::Suspect, PeerState::Down] {
+            assert_eq!(PeerState::from_byte(state.to_byte()).unwrap(), state);
+        }
+        assert_eq!(PeerState::from_byte(3), Err(ProtoError::UnknownEnum(3)));
+        assert_eq!(PeerState::from_byte(0xFF), Err(ProtoError::UnknownEnum(0xFF)));
+    }
+
+    #[test]
+    fn replication_adversarial_bodies_are_typed_errors() {
+        // DIGEST with an oversized cursor length claim.
+        let mut b = vec![PROTO_VERSION, op::DIGEST];
+        b.extend_from_slice(&u16::try_from(MAX_NAME_LEN + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_NAME_LEN + 1, max: MAX_NAME_LEN })
+        );
+        // SYNC request claiming more names than the protocol cap.
+        let mut b = vec![PROTO_VERSION, op::SYNC];
+        b.extend_from_slice(&u16::try_from(MAX_SYNC_NAMES + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_SYNC_NAMES + 1, max: MAX_SYNC_NAMES })
+        );
+        // SYNC request whose name count lies about the bytes behind it.
+        let mut b = vec![PROTO_VERSION, op::SYNC];
+        b.extend_from_slice(&5u16.to_le_bytes());
+        b.extend_from_slice(&1u16.to_le_bytes());
+        b.push(b'x');
+        assert!(matches!(decode_request(&b), Err(ProtoError::Truncated { .. })));
+        // DIGESTS response lying about its entry count.
+        let mut b = vec![status::DIGESTS];
+        b.extend_from_slice(&100u16.to_le_bytes());
+        assert!(matches!(decode_response(&b), Err(ProtoError::Truncated { .. })));
+        // DIGESTS response with a count over the page cap.
+        let mut b = vec![status::DIGESTS];
+        b.extend_from_slice(&u16::try_from(MAX_DIGEST_ENTRIES + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_response(&b),
+            Err(ProtoError::FieldTooLarge {
+                got: MAX_DIGEST_ENTRIES + 1,
+                max: MAX_DIGEST_ENTRIES
+            })
+        );
+        // SKETCHES response whose payload claims more than the format ceiling.
+        let mut b = vec![status::SKETCHES];
+        b.extend_from_slice(&1u16.to_le_bytes());
+        b.extend_from_slice(&1u16.to_le_bytes());
+        b.push(b'x');
+        let claim = u32::try_from(MAX_ENCODED_LEN + 1).expect("invariant: test constant fits u32");
+        b.extend_from_slice(&claim.to_le_bytes());
+        assert_eq!(
+            decode_response(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_ENCODED_LEN + 1, max: MAX_ENCODED_LEN })
+        );
+        // HEALTH response with a peer count over the cap.
+        let mut b = encode_response(&Response::Health(Health::default()));
+        let n = b.len();
+        b[n - 2..].copy_from_slice(&u16::try_from(MAX_PEERS + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_response(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_PEERS + 1, max: MAX_PEERS })
+        );
+        // HEALTH response with an unknown peer-state byte.
+        let mut b = encode_response(&Response::Health(Health {
+            peers: vec![PeerHealth {
+                addr: "p".into(),
+                state: PeerState::Healthy,
+                last_sync_age: 0,
+                mismatches: 0,
+            }],
+            ..Health::default()
+        }));
+        let state_off = b.len() - 17; // state byte sits before two trailing u64s
+        assert_eq!(b[state_off], PeerState::Healthy.to_byte());
+        b[state_off] = 9;
+        assert_eq!(decode_response(&b), Err(ProtoError::UnknownEnum(9)));
     }
 
     #[test]

@@ -40,8 +40,9 @@ use hmh_hash::RandomOracle;
 use hmh_store::{FileBackend, SketchStore, StoreError, StoreOptions};
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, ErrCode, FrameError, Health, Request,
-    Response, MAX_FRAME_LEN,
+    decode_request, encode_response, read_frame, write_frame, DigestEntry, ErrCode, FrameError,
+    Health, PeerHealth, Request, Response, SyncEntry, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN,
+    MAX_SYNC_NAMES,
 };
 
 /// Daemon configuration.
@@ -111,6 +112,32 @@ impl From<std::io::Error> for ServeError {
 /// How often blocked loops re-check the shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(5);
 
+/// Replication state published by an anti-entropy engine and read by the
+/// daemon's HEALTH handler. The daemon owns one of these whether or not
+/// replication is running: with no engine attached it reports zero
+/// rounds and no peers, which is exactly the truth.
+///
+/// Lives in `hmh-serve` (not the replica crate) so the dependency points
+/// one way: the engine depends on the server, publishes here; the server
+/// never needs to know the engine exists.
+#[derive(Debug, Default)]
+pub struct ReplicationStatus {
+    inner: Mutex<(u64, Vec<PeerHealth>)>,
+}
+
+impl ReplicationStatus {
+    /// Publish the state after an anti-entropy round: the number of
+    /// completed rounds and the current per-peer health.
+    pub fn publish(&self, rounds: u64, peers: Vec<PeerHealth>) {
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = (rounds, peers);
+    }
+
+    /// Snapshot `(rounds, peers)` for a HEALTH response.
+    pub fn snapshot(&self) -> (u64, Vec<PeerHealth>) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
 struct Shared {
     store: Mutex<SketchStore<FileBackend>>,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -121,6 +148,7 @@ struct Shared {
     shed: AtomicU64,
     served: AtomicU64,
     active: AtomicU32,
+    replication: Arc<ReplicationStatus>,
     opts: ServeOptions,
 }
 
@@ -172,6 +200,13 @@ impl ServerHandle {
     pub fn is_finished(&self) -> bool {
         self.threads.iter().all(thread::JoinHandle::is_finished)
     }
+
+    /// The replication status slot this daemon reports in HEALTH. An
+    /// anti-entropy engine clones the `Arc` and publishes into it; with
+    /// no engine attached the slot stays at its zero state.
+    pub fn replication(&self) -> Arc<ReplicationStatus> {
+        Arc::clone(&self.shared.replication)
+    }
 }
 
 impl Drop for ServerHandle {
@@ -201,6 +236,7 @@ pub fn serve(
         shed: AtomicU64::new(0),
         served: AtomicU64::new(0),
         active: AtomicU32::new(0),
+        replication: Arc::new(ReplicationStatus::default()),
         opts: opts.clone(),
     });
 
@@ -372,9 +408,53 @@ fn handle_request(shared: &Shared, request: Request) -> (Response, Disposition) 
         },
         Request::List => Response::Names(shared.store().names().map(str::to_string).collect()),
         Request::Health => Response::Health(health_snapshot(shared)),
+        Request::Digest { after } => {
+            Response::Digests(digest_page(&shared.store(), &after, MAX_DIGEST_ENTRIES))
+        }
+        Request::Sync { names } => sync_page(shared, &names),
         Request::Shutdown => return (Response::Ok, Disposition::Shutdown),
     };
     (resp, Disposition::KeepAlive)
+}
+
+fn digest_page(
+    store: &SketchStore<FileBackend>,
+    after: &str,
+    limit: usize,
+) -> Vec<DigestEntry> {
+    store
+        .digest_page(after, limit)
+        .into_iter()
+        .map(|(name, checksum)| DigestEntry { name, checksum })
+        .collect()
+}
+
+/// SYNC: answer the longest *prefix* of the requested names whose encoded
+/// response fits the frame budget; the peer re-requests the remainder
+/// starting at the first name it did not receive. A name that vanished
+/// between DIGEST and SYNC comes back with an empty payload — an explicit
+/// "gone" the peer can distinguish from "cut off by the budget". Both
+/// DIGEST and SYNC are reads: they keep serving in read-only mode, so a
+/// degraded replica still donates its acknowledged state to the cluster.
+fn sync_page(shared: &Shared, names: &[String]) -> Response {
+    // Response overhead: status byte + u16 entry count; per entry:
+    // u16 name length + name + u32 payload length + payload.
+    let budget = shared.opts.max_frame.min(MAX_FRAME_LEN);
+    let mut used = 3usize;
+    let mut entries = Vec::new();
+    let store = shared.store();
+    for name in names.iter().take(MAX_SYNC_NAMES) {
+        let payload = store.get_encoded(name).map(<[u8]>::to_vec).unwrap_or_default();
+        let cost = 2 + name.len() + 4 + payload.len();
+        // Always answer at least one entry, or an over-budget first
+        // sketch would make the peer spin on an empty reply forever.
+        if !entries.is_empty() && used + cost > budget {
+            break;
+        }
+        used += cost;
+        entries.push(SyncEntry { name: name.clone(), payload });
+    }
+    Response::Sketches(entries)
 }
 
 fn not_found(name: &str) -> Response {
@@ -510,6 +590,7 @@ fn health_snapshot(shared: &Shared) -> Health {
         // Health must answer even when the disk will not: report dirty.
         Err(_) => (false, 0, false),
     };
+    let (rounds, peers) = shared.replication.snapshot();
     Health {
         read_only: shared.read_only.load(Ordering::SeqCst),
         workers: clamp_u32(shared.opts.workers),
@@ -522,6 +603,8 @@ fn health_snapshot(shared: &Shared) -> Health {
         store_clean,
         quarantined,
         truncated_tail,
+        rounds,
+        peers,
     }
 }
 

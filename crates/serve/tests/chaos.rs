@@ -25,8 +25,8 @@ use hmh_core::{HmhParams, HyperMinHash};
 use hmh_hash::splitmix::SplitMix64;
 use hmh_hash::RandomOracle;
 use hmh_serve::proto::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, MAX_BATCH_ITEMS,
-    MAX_FRAME_LEN, MAX_ITEM_LEN,
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, Response, MAX_BATCH_ITEMS, MAX_FRAME_LEN, MAX_ITEM_LEN,
 };
 use hmh_serve::{serve, Client, ClientError, ClientOptions, ErrCode, ServeOptions, ServerHandle};
 use hmh_store::{RetryPolicy, SketchStore, StoreOptions};
@@ -633,4 +633,86 @@ fn batch_put_respects_read_only_degradation() {
     // Reads still work in degradation.
     assert!(c.get("pre").is_ok(), "acknowledged state stays servable");
     handle.join();
+}
+
+/// The reconnect blind spot (fixed): a server that dies *after* the
+/// request frame is flushed — clean close before replying on one
+/// connection, a torn half-reply on the next — used to surface as a
+/// fatal `UnexpectedEof`/`BrokenPipe` instead of a retried transient.
+/// Every HMS1 operation is idempotent (PUT is last-write-wins on
+/// identical bytes, MERGE is the CRDT max), so retrying a request whose
+/// fate is unknown is always safe. The client must ride through both
+/// failure shapes and succeed on the third connection.
+#[test]
+fn disconnect_after_request_flushed_is_retried_not_fatal() {
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accepts = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&accepts);
+
+    let server = std::thread::spawn(move || {
+        for attempt in 0u64.. {
+            let Ok((mut conn, _)) = listener.accept() else { return };
+            seen.fetch_add(1, Ordering::SeqCst);
+            conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            // Always consume the full request frame first: the client has
+            // flushed it and committed to reading a reply.
+            let Ok(Some(body)) = read_frame(&mut conn, MAX_FRAME_LEN) else { return };
+            match attempt {
+                // Attempt 1: clean close after the request — the client
+                // sees EOF where a reply should start.
+                0 => drop(conn),
+                // Attempt 2: a torn reply — length prefix promises a
+                // frame, the connection dies mid-body (UnexpectedEof,
+                // the historical blind spot).
+                1 => {
+                    let reply = encode_response(&Response::Ok);
+                    let mut framed = Vec::new();
+                    write_frame(&mut framed, &reply).unwrap();
+                    conn.write_all(&framed[..framed.len() - 1]).unwrap();
+                    drop(conn);
+                }
+                // Attempt 3: behave. Echo a well-formed OK and stop.
+                _ => {
+                    assert!(
+                        decode_request(&body).is_ok(),
+                        "retried frame must still be well-formed"
+                    );
+                    let reply = encode_response(&Response::Ok);
+                    let mut framed = Vec::new();
+                    write_frame(&mut framed, &reply).unwrap();
+                    conn.write_all(&framed).unwrap();
+                    return;
+                }
+            }
+        }
+    });
+
+    let mut c = Client::with_options(
+        addr,
+        ClientOptions {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            // Enough budget for both chaos connections plus the good one
+            // (no_sleep's default is 4 attempts — stated here because the
+            // accept-count assertion depends on it).
+            retry: {
+                let mut retry = RetryPolicy::no_sleep();
+                retry.max_attempts = 4;
+                retry
+            },
+        },
+    );
+    c.put("retried", &sketch(0, 500)).expect("post-flush disconnects must be retried");
+    server.join().unwrap();
+    assert_eq!(
+        accepts.load(Ordering::SeqCst),
+        3,
+        "one clean-close retry, one torn-reply retry, one success"
+    );
 }

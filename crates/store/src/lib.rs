@@ -48,6 +48,6 @@ pub mod store;
 pub use backend::{atomic_write, atomic_write_file, sibling_tmp, Backend, FileBackend};
 pub use fault::{Fault, FaultPlan, FaultyIo, MemBackend};
 pub use lock::{LockError, StoreLock, LOCK_FILE};
-pub use log::{Record, RecordKind, RecoveryReport, Salvage};
+pub use log::{Record, RecordKind, RecoveryReport, Salvage, DIGEST_SEED};
 pub use retry::{is_transient, RetryPolicy};
 pub use store::{SketchStore, StoreError, StoreOptions, QUARANTINE_FILE, SNAPSHOT_FILE, WAL_FILE};

@@ -30,6 +30,11 @@ pub const RECORD_MAGIC: [u8; 4] = *b"HMR1";
 /// Seed of the per-record xxHash64 (distinct from the sketch format's 0).
 pub const RECORD_SEED: u64 = 0x484d_5231_5345_4544; // "HMR1SEED"
 
+/// Seed for replication digests: the per-name checksum replicas exchange
+/// during anti-entropy. Deliberately distinct from [`RECORD_SEED`] so a
+/// digest can never be confused with (or forged from) a log trailer.
+pub const DIGEST_SEED: u64 = 0x484d_5231_4447_5354; // "HMR1DGST"
+
 /// Fixed-size prefix before the name bytes.
 pub const RECORD_HEADER: usize = 11;
 

@@ -80,6 +80,17 @@ impl RetryPolicy {
         self
     }
 
+    /// Public view of the backoff schedule: the jittered delay this
+    /// policy would sleep before retry number `attempt` (1-based).
+    /// Callers that pace their own loops — the replication engine's
+    /// anti-entropy interval, for instance — reuse the store's schedule
+    /// instead of inventing a second backoff implementation. Consumes
+    /// jitter state, so successive calls with the same `attempt`
+    /// decorrelate.
+    pub fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        self.delay(attempt)
+    }
+
     /// Delay before retry number `attempt` (1-based): exponential base
     /// doubling, clamped to `max_delay`, with up to +50% jitter.
     fn delay(&mut self, attempt: u32) -> Duration {

@@ -28,8 +28,11 @@ use hmh_core::HyperMinHash;
 
 use crate::backend::{atomic_write, Backend, FileBackend};
 use crate::lock::{LockError, StoreLock};
-use crate::log::{encode_record, salvage_scan, Record, RecordKind, RecoveryReport, MAX_NAME_LEN};
+use crate::log::{
+    encode_record, salvage_scan, Record, RecordKind, RecoveryReport, DIGEST_SEED, MAX_NAME_LEN,
+};
 use crate::retry::RetryPolicy;
+use hmh_hash::xxhash::xxh64;
 
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.hmr";
@@ -264,6 +267,22 @@ impl<B: Backend> SketchStore<B> {
     /// All stored names, sorted.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.entries.keys().map(String::as_str)
+    }
+
+    /// One page of replication digests: up to `limit` `(name, checksum)`
+    /// pairs for names strictly after `after` in sorted order (empty
+    /// `after` starts from the beginning). The checksum is xxHash64 of
+    /// the stored payload under [`crate::log::DIGEST_SEED`], so two
+    /// replicas agree on a name exactly when they hold byte-identical
+    /// sketches — the property anti-entropy needs, since `format::encode`
+    /// is canonical.
+    pub fn digest_page(&self, after: &str, limit: usize) -> Vec<(String, u64)> {
+        use std::ops::Bound;
+        self.entries
+            .range::<str, _>((Bound::Excluded(after), Bound::Unbounded))
+            .take(limit)
+            .map(|(name, payload)| (name.clone(), xxh64(payload, DIGEST_SEED)))
+            .collect()
     }
 
     /// Number of stored sketches.
