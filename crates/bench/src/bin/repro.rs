@@ -18,7 +18,7 @@
 //! ```
 
 use hmh_bench::experiments::{
-    approx, bbit, cardinality, cnf_ie, collisions, fig6, headline, ie_vs_hmh, ingest, space_sweep,
+    approx, bbit, cardinality, cnf_ie, collisions, fig6, headline, ie_vs_hmh, ingest, route, space_sweep,
     variance, Config,
 };
 use hmh_bench::Table;
@@ -90,6 +90,18 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }
+    // ... and the routing-tier overhead sweep publishes its own.
+    if let Some(table) =
+        tables.iter().find(|t| t.title().starts_with("Routed vs direct"))
+    {
+        let path = match &csv_dir {
+            Some(dir) => format!("{dir}/BENCH_route.json"),
+            None => "BENCH_route.json".to_string(),
+        };
+        std::fs::write(&path, route::to_json(table))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
 }
 
 fn run_experiment(name: &str, cfg: &Config) -> Vec<Table> {
@@ -105,6 +117,7 @@ fn run_experiment(name: &str, cfg: &Config) -> Vec<Table> {
         "space-sweep" => vec![space_sweep::run(cfg)],
         "cardinality" => vec![cardinality::run(cfg)],
         "ingest" => vec![ingest::run(cfg)],
+        "route" => vec![route::run(cfg)],
         "all" => {
             let mut out = vec![fig6::run(cfg)];
             out.extend(headline::run(cfg));
@@ -117,6 +130,7 @@ fn run_experiment(name: &str, cfg: &Config) -> Vec<Table> {
             out.push(space_sweep::run(cfg));
             out.push(cardinality::run(cfg));
             out.push(ingest::run(cfg));
+            out.push(route::run(cfg));
             out
         }
         other => die(&format!("unknown experiment {other:?}\n{USAGE}")),
@@ -166,5 +180,7 @@ experiments:
   cardinality  Algorithm 3 decade sweep with estimator ablations
   ingest       parallel sharded ingest throughput vs. a sequential build
                (also writes BENCH_ingest.json)
+  route        routed vs direct PUT/CARD overhead over a live 2-group
+               cluster (also writes BENCH_route.json)
   all          everything above
 ";

@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod headline;
 pub mod ie_vs_hmh;
 pub mod ingest;
+pub mod route;
 pub mod space_sweep;
 pub mod variance;
 

@@ -91,6 +91,17 @@ commands:
             batch NAME FILE [-p P] [-q Q] [-r R] [--seed S] [--alg A]
                               ingest lines of FILE into NAME server-side
             card NAME / jaccard A B / list / health / shutdown
+  route   OP [ARG...]         consistent-hash routing tier; OP is one of
+            serve RING [--addr A] [--workers N] [--queue-depth N]
+                              route the cluster described by ring file
+                              RING (default 127.0.0.1:7800); clients
+                              talk to the router exactly as to a daemon
+            owner RING NAME...
+                              print the replica group owning each NAME
+            rebalance OLD NEW
+                              move sketches from ring file OLD to ring
+                              file NEW (copy, verify, release); safe to
+                              re-run after a crash or SIGKILL
 ";
 
 /// Run the CLI with pre-split arguments (no program name), writing results
@@ -110,6 +121,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "store" => cmd_store(rest, out),
         "serve" => cmd_serve(rest, out),
         "client" => cmd_client(rest, out),
+        "route" => cmd_route(rest, out),
         "--help" | "-h" | "help" => {
             write_out(out, USAGE)?;
             Ok(())
@@ -702,7 +714,7 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 format!(
                     "read_only: {}\nworkers: {}\nqueue: {}/{}\nactive: {}\nshed: {}\nserved: {}\n\
                      sketches: {}\nstore_clean: {}\nquarantined: {}\ntruncated_tail: {}\n\
-                     replication_rounds: {}\npeers: {}\n",
+                     replication_rounds: {}\nroute_epoch: {}\nroute_handoffs: {}\npeers: {}\n",
                     h.read_only,
                     h.workers,
                     h.queue_depth,
@@ -715,6 +727,8 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     h.quarantined,
                     h.truncated_tail,
                     h.rounds,
+                    h.route_epoch,
+                    h.route_handoffs,
                     h.peers.len(),
                 ),
             )?;
@@ -740,6 +754,104 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         (op, _) => Err(CliError::usage(format!(
             "bad client operation {op:?} (or wrong arguments)\n(see `hmh help`)"
+        ))),
+    }
+}
+
+/// Load and build a ring from a committed ring-config file.
+fn load_ring(path: &str) -> Result<hmh_route::Ring, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let config = hmh_route::RingConfig::from_text(&text)
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    hmh_route::Ring::build(config).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn cmd_route(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((op, rest)) = args.split_first() else {
+        return Err(CliError::usage("route needs an operation\n(see `hmh help`)"));
+    };
+    match (op.as_str(), rest) {
+        ("serve", [ring_file, flags @ ..]) => {
+            let ring = load_ring(ring_file)?;
+            let mut addr = "127.0.0.1:7800".to_string();
+            let mut opts = hmh_route::RouteOptions::default();
+            let need = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+                args.get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+            };
+            let mut i = 0;
+            while i < flags.len() {
+                match flags[i].as_str() {
+                    "--addr" => {
+                        i += 1;
+                        addr = need(flags, i, "--addr")?;
+                    }
+                    "--workers" => {
+                        i += 1;
+                        opts.workers = need(flags, i, "--workers")?
+                            .parse()
+                            .map_err(|e| CliError::usage(format!("--workers: {e}")))?;
+                    }
+                    "--queue-depth" => {
+                        i += 1;
+                        opts.queue_depth = need(flags, i, "--queue-depth")?
+                            .parse()
+                            .map_err(|e| CliError::usage(format!("--queue-depth: {e}")))?;
+                    }
+                    other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            let epoch = ring.epoch();
+            let groups = ring.group_count();
+            let handle = hmh_route::route(ring, addr.as_str(), opts)
+                .map_err(|e| CliError::runtime(format!("route serve: {e}")))?;
+            // Same readiness contract as `hmh serve`: scripts wait for
+            // this line, so flush it before blocking.
+            write_out(
+                out,
+                format!("listening on {} (epoch {epoch}, {groups} groups)\n", handle.addr()),
+            )?;
+            out.flush().map_err(|e| CliError::runtime(format!("write failed: {e}")))?;
+            while !handle.is_finished() {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            handle.join();
+            let _ = write_out(out, "shutdown complete\n");
+            Ok(())
+        }
+        ("owner", [ring_file, names @ ..]) if !names.is_empty() => {
+            let ring = load_ring(ring_file)?;
+            for name in names {
+                let group = ring.owner(name);
+                let addrs: Vec<String> =
+                    group.replicas.iter().map(ToString::to_string).collect();
+                write_out(out, format!("{name}: {} ({})\n", group.id, addrs.join(",")))?;
+            }
+            Ok(())
+        }
+        ("rebalance", [old_file, new_file]) => {
+            let old_ring = load_ring(old_file)?;
+            let new_ring = load_ring(new_file)?;
+            let report =
+                hmh_route::rebalance(&old_ring, &new_ring, &hmh_route::RebalanceOptions::default())
+                    .map_err(|e| CliError::runtime(format!("rebalance: {e}")))?;
+            write_out(
+                out,
+                format!(
+                    "rebalanced epoch {} -> {}: {} moved, {} handoffs, {} vanished\n",
+                    old_ring.epoch(),
+                    new_ring.epoch(),
+                    report.moved,
+                    report.handoffs,
+                    report.vanished
+                ),
+            )
+        }
+        (op, _) => Err(CliError::usage(format!(
+            "bad route operation {op:?} (or wrong arguments)\n(see `hmh help`)"
         ))),
     }
 }
@@ -1045,6 +1157,129 @@ mod tests {
         handle.join();
         // The daemon released the lock; direct store access works again.
         assert!(run_to_string(&["store", &sdir, "list"]).unwrap().contains("2 sketches"));
+    }
+
+    /// A `Write` sink shareable with the thread running `hmh route
+    /// serve`, so the test can watch for the readiness line.
+    #[derive(Clone)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn route_commands_drive_a_sharded_cluster() {
+        let dir = TempDir::new("route");
+        let a = build(&dir, "a", 0, 20_000);
+
+        // Two single-replica shard daemons.
+        let opts = || hmh_serve::ServeOptions { workers: 2, ..hmh_serve::ServeOptions::default() };
+        let n1 = hmh_serve::serve(dir.path("shard1"), "127.0.0.1:0", opts()).unwrap();
+        let n2 = hmh_serve::serve(dir.path("shard2"), "127.0.0.1:0", opts()).unwrap();
+        let ring1 = dir.path("ring1.txt");
+        std::fs::write(
+            &ring1,
+            format!(
+                "hmh-ring v1\nepoch 1\nvnodes 64\ngroup g1 {}\ngroup g2 {}\n",
+                n1.addr(),
+                n2.addr()
+            ),
+        )
+        .unwrap();
+
+        // `route owner` answers from the committed config alone.
+        let owners = run_to_string(&["route", "owner", &ring1, "alpha", "beta"]).unwrap();
+        assert!(owners.contains("alpha: g") && owners.contains("beta: g"), "{owners}");
+
+        // `route serve` in a thread; wait for the readiness line.
+        let buf = SharedBuf(std::sync::Arc::default());
+        let thread_buf = buf.clone();
+        let ring_arg = ring1.clone();
+        let router = std::thread::spawn(move || {
+            let args: Vec<String> =
+                ["route", "serve", &ring_arg, "--addr", "127.0.0.1:0"]
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+            let mut sink = thread_buf;
+            run(&args, &mut sink).unwrap();
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+                assert!(line.contains("(epoch 1, 2 groups)"), "{line}");
+                break line["listening on ".len()..].split(' ').next().unwrap().to_string();
+            }
+            assert!(std::time::Instant::now() < deadline, "router never became ready: {text}");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        // The ordinary client workflow, pointed at the router.
+        for name in ["alpha", "beta", "gamma", "delta"] {
+            run_to_string(&["client", &addr, "put", name, &a]).unwrap();
+        }
+        let card = run_to_string(&["client", &addr, "card", "alpha"]).unwrap();
+        let estimate: f64 = card.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((estimate / 20_000.0 - 1.0).abs() < 0.1, "{card}");
+        assert!(run_to_string(&["client", &addr, "list"]).unwrap().contains("4 sketches"));
+        let health = run_to_string(&["client", &addr, "health"]).unwrap();
+        assert!(health.contains("route_epoch: 1"), "{health}");
+        assert!(health.contains("route_handoffs: 0"), "{health}");
+
+        // Grow the cluster: third group, epoch 2, CLI-driven rebalance.
+        let n3 = hmh_serve::serve(dir.path("shard3"), "127.0.0.1:0", opts()).unwrap();
+        let ring2 = dir.path("ring2.txt");
+        std::fs::write(
+            &ring2,
+            format!(
+                "hmh-ring v1\nepoch 2\nvnodes 64\ngroup g1 {}\ngroup g2 {}\ngroup g3 {}\n",
+                n1.addr(),
+                n2.addr(),
+                n3.addr()
+            ),
+        )
+        .unwrap();
+        let report = run_to_string(&["route", "rebalance", &ring1, &ring2]).unwrap();
+        assert!(report.contains("rebalanced epoch 1 -> 2"), "{report}");
+        // Re-running is a no-op, not corruption.
+        let replay = run_to_string(&["route", "rebalance", &ring1, &ring2]).unwrap();
+        assert!(replay.contains("0 moved"), "{replay}");
+        // Every name still lives somewhere exactly once.
+        let held: usize = [n1.addr(), n2.addr(), n3.addr()]
+            .iter()
+            .map(|a| {
+                let listing = run_to_string(&["client", &a.to_string(), "list"]).unwrap();
+                listing.lines().filter(|l| !l.ends_with("sketches")).count()
+            })
+            .sum();
+        assert_eq!(held, 4, "rebalance lost or duplicated a sketch");
+
+        // Routed SHUTDOWN stops the router, never the shards.
+        run_to_string(&["client", &addr, "shutdown"]).unwrap();
+        router.join().unwrap();
+        assert!(!n1.is_finished() && !n2.is_finished(), "shutdown must not reach the shards");
+
+        // Typed usage errors for the new surface.
+        assert_eq!(run_to_string(&["route", "frob"]).unwrap_err().code, 2);
+        assert_eq!(run_to_string(&["route", "owner", &ring1]).unwrap_err().code, 2);
+        assert!(run_to_string(&["route", "serve", &dir.path("nope.txt")])
+            .unwrap_err()
+            .message
+            .contains("cannot read"));
+
+        for node in [n1, n2, n3] {
+            node.shutdown();
+            node.join();
+        }
     }
 
     #[test]

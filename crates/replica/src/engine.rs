@@ -238,7 +238,11 @@ pub fn sync_with_peer(
 /// Hostile pagination is bounded: entries must arrive in strictly
 /// increasing name order (so the cursor provably advances) and the
 /// total is capped at [`MAX_TRACKED_DIGESTS`].
-fn fetch_digests(
+///
+/// Public because the routing tier's rebalancer walks a shard's full
+/// digest set the same way anti-entropy does — one hardened pagination
+/// loop, shared, instead of a second copy with its own bugs.
+pub fn fetch_digests(
     client: &mut Client,
 ) -> Result<std::collections::BTreeMap<String, u64>, SyncError> {
     let mut digests = std::collections::BTreeMap::new();

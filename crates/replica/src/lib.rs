@@ -43,5 +43,7 @@
 pub mod engine;
 pub mod peer;
 
-pub use engine::{sync_with_peer, AntiEntropy, ReplicaOptions, SyncError, MAX_TRACKED_DIGESTS};
+pub use engine::{
+    fetch_digests, sync_with_peer, AntiEntropy, ReplicaOptions, SyncError, MAX_TRACKED_DIGESTS,
+};
 pub use peer::{PeerTracker, BACKOFF_CAP_ROUNDS, DOWN_AFTER};

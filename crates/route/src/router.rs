@@ -1,0 +1,718 @@
+//! The scatter-gather router: one `HMS1` endpoint over a ring of
+//! replica groups.
+//!
+//! The router speaks the same wire protocol as a plain daemon, so every
+//! existing client works unchanged — it just answers from a cluster:
+//!
+//! * **Name-keyed ops** (PUT, MERGE, BATCH_PUT, GET, CARD) forward to
+//!   the ring owner's replica group through a [`FailoverClient`]; a
+//!   group whose every replica is down answers a typed `UNAVAILABLE`,
+//!   never a hang.
+//! * **JACCARD** spanning two groups pulls both sketches and computes
+//!   the estimate in the router — the same arithmetic a daemon runs,
+//!   fed by two GETs.
+//! * **LIST/HEALTH** scatter-gather across all groups. The paginated
+//!   LIST degrades to a partial page (marked `partial: true`) when a
+//!   group is unreachable; the legacy whole-store LIST has no way to
+//!   mark a gap, so it fails typed instead of lying by omission.
+//! * **DELETE** fans out to *every* replica of the owning group —
+//!   deleting from one replica of a group is undone by the group's own
+//!   anti-entropy.
+//! * **DIGEST/SYNC** are refused: they are replica-to-replica
+//!   anti-entropy ops, and routing them to "the cluster" has no
+//!   meaning.
+//!
+//! Group liveness reuses the replica crate's healthy → suspect → down
+//! ladder, one tracker per group, with down-state attempts backed off
+//! in request rounds — a dead group costs each scatter a skip, not a
+//! connect timeout.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use hmh_replica::PeerTracker;
+use hmh_serve::proto::{
+    decode_request, encode_response, read_frame, write_frame, ErrCode, FrameError, Health, Request,
+    Response, MAX_FRAME_LEN, MAX_LIST_NAMES,
+};
+use hmh_serve::{Client, ClientError, ClientOptions, FailoverClient};
+
+use crate::ring::Ring;
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouteOptions {
+    /// Worker threads handling client connections.
+    pub workers: usize,
+    /// Accept-queue depth; connections beyond it are shed with BUSY.
+    pub queue_depth: usize,
+    /// Per-connection read deadline on the client side.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline on the client side.
+    pub write_timeout: Duration,
+    /// Frame body ceiling for client frames.
+    pub max_frame: usize,
+    /// Options for the shard-facing clients. These deadlines are the
+    /// per-shard budget: a scatter-gather waits at most one failed
+    /// shard exchange per group, never unboundedly.
+    pub shard: ClientOptions,
+    /// Failover attempt budget per group per operation.
+    pub shard_attempts: u32,
+    /// Ceiling in rounds on the down-group attempt backoff.
+    pub backoff_cap: u64,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 16,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_frame: MAX_FRAME_LEN,
+            shard: ClientOptions::default(),
+            shard_attempts: 0, // 0 = one per replica plus one
+            backoff_cap: hmh_replica::BACKOFF_CAP_ROUNDS,
+        }
+    }
+}
+
+/// Why the router could not start.
+#[derive(Debug)]
+pub enum RouteError {
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Io(e) => write!(f, "cannot start router: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for RouteError {
+    fn from(e: std::io::Error) -> Self {
+        RouteError::Io(e)
+    }
+}
+
+/// Shared per-group liveness: one tracker per group, advanced in
+/// request rounds (each handled request is one round, so a down group's
+/// backoff expires after a bounded number of requests, not wall-clock).
+struct Liveness {
+    trackers: Vec<Mutex<PeerTracker>>,
+    round: AtomicU64,
+}
+
+impl Liveness {
+    fn new(ring: &Ring, backoff_cap: u64) -> Self {
+        let trackers = ring
+            .groups()
+            .iter()
+            .map(|g| Mutex::new(PeerTracker::new(g.id.clone()).with_backoff_cap(backoff_cap)))
+            .collect();
+        Self { trackers, round: AtomicU64::new(1) }
+    }
+
+    fn tracker(&self, group: usize) -> MutexGuard<'_, PeerTracker> {
+        self.trackers[group].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn should_attempt(&self, group: usize) -> bool {
+        let round = self.round.load(Ordering::Relaxed);
+        self.tracker(group).should_attempt(round)
+    }
+
+    fn record(&self, group: usize, ok: bool) {
+        let round = self.round.load(Ordering::Relaxed);
+        let mut tracker = self.tracker(group);
+        if ok {
+            tracker.record_success(round, 0);
+        } else {
+            tracker.record_failure(round);
+        }
+    }
+}
+
+struct Shared {
+    ring: Ring,
+    liveness: Liveness,
+    queue: Mutex<VecDeque<TcpStream>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    shed: AtomicU64,
+    served: AtomicU64,
+    active: AtomicU32,
+    handoffs: Arc<AtomicU64>,
+    opts: RouteOptions,
+}
+
+impl Shared {
+    fn queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running router. Same lifecycle surface as the daemon's
+/// `ServerHandle`: drop signals shutdown, [`RouterHandle::join`] drains.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+    }
+
+    /// Signal shutdown and wait for every thread to drain.
+    pub fn join(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// True once every thread has exited (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.threads.iter().all(thread::JoinHandle::is_finished)
+    }
+
+    /// The handoff counter this router reports in HEALTH
+    /// (`route_handoffs`). An in-process rebalance adds its completed
+    /// copy-verify-release cycles here.
+    pub fn handoffs(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.shared.handoffs)
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start the router over `ring`, listening on `addr`.
+pub fn route(
+    ring: Ring,
+    addr: impl ToSocketAddrs,
+    opts: RouteOptions,
+) -> Result<RouterHandle, RouteError> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let liveness = Liveness::new(&ring, opts.backoff_cap);
+    let shared = Arc::new(Shared {
+        ring,
+        liveness,
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        shed: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        active: AtomicU32::new(0),
+        handoffs: Arc::new(AtomicU64::new(0)),
+        opts: opts.clone(),
+    });
+
+    let mut threads = Vec::with_capacity(opts.workers + 1);
+    let accept_shared = Arc::clone(&shared);
+    threads.push(
+        thread::Builder::new()
+            .name("hmh-route-accept".into())
+            .spawn(move || accept_loop(&accept_shared, &listener))?,
+    );
+    for i in 0..opts.workers.max(1) {
+        let worker_shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("hmh-route-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))?,
+        );
+    }
+    Ok(RouterHandle { addr, shared, threads })
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => enqueue(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
+            Err(_) => thread::sleep(POLL_TICK),
+        }
+    }
+    shared.wake.notify_all();
+}
+
+fn enqueue(shared: &Shared, stream: TcpStream) {
+    let mut queue = shared.queue();
+    if queue.len() >= shared.opts.queue_depth {
+        drop(queue);
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        let deadline = shared.opts.write_timeout.min(Duration::from_millis(100));
+        let _ = stream.set_write_timeout(Some(deadline));
+        let mut stream = stream;
+        let _ = write_frame(&mut stream, &encode_response(&Response::Busy));
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.wake.notify_one();
+}
+
+/// Per-worker shard connections: one failover client per group, built
+/// once and reused across requests (reconnection after failures is the
+/// client's own job).
+struct ShardClients {
+    groups: Vec<FailoverClient>,
+}
+
+impl ShardClients {
+    fn new(shared: &Shared) -> Self {
+        let attempts = |n: usize| {
+            if shared.opts.shard_attempts == 0 {
+                u32::try_from(n).unwrap_or(u32::MAX).saturating_add(1)
+            } else {
+                shared.opts.shard_attempts
+            }
+        };
+        let groups = shared
+            .ring
+            .groups()
+            .iter()
+            .map(|g| {
+                FailoverClient::with_options(
+                    &g.replicas,
+                    shared.opts.shard.clone(),
+                    attempts(g.replicas.len()),
+                )
+            })
+            .collect();
+        Self { groups }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut shards = ShardClients::new(shared);
+    loop {
+        let stream = {
+            let mut queue = shared.queue();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .wake
+                    .wait_timeout(queue, POLL_TICK)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        handle_connection(shared, &mut shards, stream);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(shared: &Shared, shards: &mut ShardClients, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(shared.opts.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(shared.opts.write_timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+
+    loop {
+        let body = match read_frame(&mut stream, shared.opts.max_frame) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::TooLarge { got, max }) => {
+                let resp = Response::Err {
+                    code: ErrCode::TooLarge,
+                    message: format!("frame length {got} exceeds maximum {max}"),
+                };
+                let _ = write_frame(&mut stream, &encode_response(&resp));
+                return;
+            }
+        };
+
+        shared.liveness.round.fetch_add(1, Ordering::Relaxed);
+        let (resp, close) = match decode_request(&body) {
+            Ok(request) => handle_request(shared, shards, request),
+            Err(e) => (Response::Err { code: e.code(), message: e.to_string() }, true),
+        };
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+            return;
+        }
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        if close || shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request. The bool is "close the connection after
+/// answering" (parse errors and SHUTDOWN).
+fn handle_request(
+    shared: &Shared,
+    shards: &mut ShardClients,
+    request: Request,
+) -> (Response, bool) {
+    let resp = match request {
+        Request::Put { name, sketch } => {
+            forward(shared, shards, &name, |fc| fc_expect_ok(fc.put_raw(&name, &sketch)))
+        }
+        Request::Merge { name, sketch } => {
+            forward(shared, shards, &name, |fc| fc_expect_ok(fc.merge_raw(&name, &sketch)))
+        }
+        Request::BatchPut { name, p, q, r, algorithm, seed, items } => {
+            forward(shared, shards, &name, |fc| {
+                fc_expect_ok(fc.batch_put_raw(&name, (p, q, r), algorithm, seed, &items))
+            })
+        }
+        Request::Get { name } => {
+            forward(shared, shards, &name, |fc| fc.get_raw(&name).map(Response::Sketch))
+        }
+        Request::Card { name } => {
+            forward(shared, shards, &name, |fc| fc.card(&name).map(Response::Value))
+        }
+        Request::Jaccard { a, b } => jaccard(shared, shards, &a, &b),
+        Request::List => scatter_list(shared, shards),
+        Request::ListPage { after } => scatter_list_page(shared, shards, &after),
+        Request::Delete { name } => delete(shared, shards, &name),
+        Request::Health => Response::Health(scatter_health(shared, shards)),
+        Request::Digest { .. } => Response::Err {
+            code: ErrCode::UnknownOp,
+            message: "DIGEST is replica-to-replica anti-entropy; routers do not serve it".into(),
+        },
+        Request::Sync { .. } => Response::Err {
+            code: ErrCode::UnknownOp,
+            message: "SYNC is replica-to-replica anti-entropy; routers do not serve it".into(),
+        },
+        Request::Shutdown => {
+            // Stops the *router*, not the shards: the daemons behind it
+            // have their own lifecycles and other routers may be using
+            // them.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.wake.notify_all();
+            return (Response::Ok, true);
+        }
+    };
+    (resp, false)
+}
+
+/// Forward a name-keyed op to the owner group, with liveness gating and
+/// typed degradation: a group in down-backoff, or one whose whole
+/// failover budget failed, answers `UNAVAILABLE` instead of hanging.
+fn forward(
+    shared: &Shared,
+    shards: &mut ShardClients,
+    name: &str,
+    op: impl FnOnce(&mut FailoverClient) -> Result<Response, ClientError>,
+) -> Response {
+    let group = shared.ring.owner_index(name);
+    if !shared.liveness.should_attempt(group) {
+        return unavailable(shared, group, "group is in down-backoff");
+    }
+    let result = op(&mut shards.groups[group]);
+    respond(shared, group, result)
+}
+
+/// Map a shard-call result onto the client-facing wire, recording group
+/// liveness: transport exhaustion marks the group failed, anything the
+/// *servers* answered (including typed errors) marks it alive.
+fn respond(shared: &Shared, group: usize, result: Result<Response, ClientError>) -> Response {
+    match result {
+        Ok(resp) => {
+            shared.liveness.record(group, true);
+            resp
+        }
+        Err(ClientError::AllReplicasDown { attempts, last_errors }) => {
+            shared.liveness.record(group, false);
+            unavailable(
+                shared,
+                group,
+                &format!(
+                    "all replicas down after {attempts} attempts (last: {})",
+                    last_errors.last().map_or("none", String::as_str)
+                ),
+            )
+        }
+        Err(ClientError::Io(e)) => {
+            shared.liveness.record(group, false);
+            unavailable(shared, group, &format!("transport: {e}"))
+        }
+        Err(ClientError::NotFound(name)) => {
+            shared.liveness.record(group, true);
+            Response::Err { code: ErrCode::NotFound, message: format!("no sketch named {name:?}") }
+        }
+        Err(ClientError::ReadOnly) => {
+            shared.liveness.record(group, true);
+            Response::ReadOnly
+        }
+        Err(ClientError::Busy) => {
+            shared.liveness.record(group, false);
+            Response::Busy
+        }
+        Err(ClientError::Server { code, message }) => {
+            shared.liveness.record(group, true);
+            Response::Err { code, message }
+        }
+        Err(other) => {
+            shared.liveness.record(group, true);
+            Response::Err { code: ErrCode::Other(0x7e), message: other.to_string() }
+        }
+    }
+}
+
+fn unavailable(shared: &Shared, group: usize, detail: &str) -> Response {
+    let id = &shared.ring.groups()[group].id;
+    Response::Err {
+        code: ErrCode::Unavailable,
+        message: format!("replica group {id:?} is unavailable: {detail}"),
+    }
+}
+
+/// JACCARD across the ring: both sketches may live in different groups,
+/// so pull both encoded payloads and run the paper's estimator locally —
+/// the same `hmh_core` arithmetic a daemon runs, so a routed JACCARD and
+/// a direct one agree bit-for-bit.
+fn jaccard(shared: &Shared, shards: &mut ShardClients, a: &str, b: &str) -> Response {
+    let ga = shared.ring.owner_index(a);
+    let gb = shared.ring.owner_index(b);
+    if ga == gb {
+        // One group holds both: its daemon computes, one round-trip.
+        return forward(shared, shards, a, |fc| fc.jaccard(a, b).map(Response::Value));
+    }
+    let sa = match fetch_decoded(shared, shards, ga, a) {
+        Ok(sketch) => sketch,
+        Err(resp) => return resp,
+    };
+    let sb = match fetch_decoded(shared, shards, gb, b) {
+        Ok(sketch) => sketch,
+        Err(resp) => return resp,
+    };
+    match sa.jaccard(&sb) {
+        Ok(j) => Response::Value(j.estimate),
+        Err(e) => Response::Err { code: ErrCode::Incompatible, message: e.to_string() },
+    }
+}
+
+fn fetch_decoded(
+    shared: &Shared,
+    shards: &mut ShardClients,
+    group: usize,
+    name: &str,
+) -> Result<hmh_core::HyperMinHash, Response> {
+    if !shared.liveness.should_attempt(group) {
+        return Err(unavailable(shared, group, "group is in down-backoff"));
+    }
+    match shards.groups[group].get(name) {
+        Ok(sketch) => {
+            shared.liveness.record(group, true);
+            Ok(sketch)
+        }
+        Err(e) => Err(respond(shared, group, Err(e))),
+    }
+}
+
+/// Legacy whole-store LIST: scatter across every group and union. The
+/// unpaginated form has no partial marker and no cursor, so it cannot
+/// degrade honestly — any unreachable group, or a union too large for
+/// one frame, is a typed error pointing at LIST_PAGE.
+fn scatter_list(shared: &Shared, shards: &mut ShardClients) -> Response {
+    let mut union = BTreeSet::new();
+    for group in 0..shared.ring.group_count() {
+        if !shared.liveness.should_attempt(group) {
+            return unavailable(shared, group, "group is in down-backoff; use LIST_PAGE");
+        }
+        match shards.groups[group].list() {
+            Ok(names) => {
+                shared.liveness.record(group, true);
+                union.extend(names);
+            }
+            Err(e @ (ClientError::AllReplicasDown { .. } | ClientError::Io(_))) => {
+                shared.liveness.record(group, false);
+                return unavailable(shared, group, &format!("{e}; use LIST_PAGE"));
+            }
+            Err(e) => return respond(shared, group, Err(e)),
+        }
+    }
+    // Response::Names is encoded as status + u32 count + (u16+bytes)
+    // per name; refuse to build a frame the protocol cannot carry.
+    let encoded: usize = 5 + union.iter().map(|n| 2 + n.len()).sum::<usize>();
+    if encoded > shared.opts.max_frame.min(MAX_FRAME_LEN) {
+        return Response::Err {
+            code: ErrCode::TooLarge,
+            message: format!(
+                "{} names exceed one LIST frame; page with LIST_PAGE",
+                union.len()
+            ),
+        };
+    }
+    Response::Names(union.into_iter().collect())
+}
+
+/// Paginated LIST: ask every reachable group for its page after the
+/// cursor, merge, and return the first [`MAX_LIST_NAMES`] of the union.
+///
+/// Correctness of the cut: each group's page is the smallest names that
+/// group holds after the cursor. If the merged page is full, its last
+/// name (the cut) is the `MAX_LIST_NAMES`-th smallest of the union; any
+/// name a full group page *omitted* is greater than everything on that
+/// page — and a full page alone already holds `MAX_LIST_NAMES` names
+/// below the omitted name, pushing the cut below it. So nothing ≤ the
+/// cut is ever missing: pagination is gapless, group by group.
+///
+/// Groups that are unreachable (or in down-backoff) are skipped and the
+/// page is marked `partial: true` — degraded, visibly, instead of
+/// failing entirely or silently.
+fn scatter_list_page(shared: &Shared, shards: &mut ShardClients, after: &str) -> Response {
+    let mut union = BTreeSet::new();
+    let mut partial = false;
+    for group in 0..shared.ring.group_count() {
+        if !shared.liveness.should_attempt(group) {
+            partial = true;
+            continue;
+        }
+        match shards.groups[group].list_page(after) {
+            Ok((names, shard_partial)) => {
+                shared.liveness.record(group, true);
+                partial |= shard_partial;
+                union.extend(names);
+            }
+            Err(
+                ClientError::AllReplicasDown { .. } | ClientError::Io(_) | ClientError::Busy,
+            ) => {
+                shared.liveness.record(group, false);
+                partial = true;
+            }
+            Err(e) => {
+                shared.liveness.record(group, true);
+                return Response::Err { code: ErrCode::Other(0x7e), message: e.to_string() };
+            }
+        }
+    }
+    Response::NamesPage { names: union.into_iter().take(MAX_LIST_NAMES).collect(), partial }
+}
+
+/// DELETE fans out to every replica of the owning group directly — a
+/// one-replica delete is resurrected by the group's anti-entropy, so
+/// "delete" at the routing tier means "delete everywhere it is owned".
+/// NOT_FOUND from a replica is fine (it never had it, or another pass
+/// already released it); the op succeeds if at least one replica
+/// deleted and none failed for transport reasons.
+fn delete(shared: &Shared, _shards: &mut ShardClients, name: &str) -> Response {
+    let group = shared.ring.owner_index(name);
+    if !shared.liveness.should_attempt(group) {
+        return unavailable(shared, group, "group is in down-backoff");
+    }
+    let mut deleted = 0u64;
+    let mut missing = 0u64;
+    for &addr in &shared.ring.groups()[group].replicas {
+        let mut client = Client::with_options(addr, shared.opts.shard.clone());
+        match client.delete(name) {
+            Ok(()) => deleted += 1,
+            Err(ClientError::NotFound(_)) => missing += 1,
+            Err(ClientError::Io(e)) => {
+                shared.liveness.record(group, false);
+                return unavailable(shared, group, &format!("replica {addr}: {e}"));
+            }
+            Err(e) => {
+                shared.liveness.record(group, true);
+                return respond(shared, group, Err(e));
+            }
+        }
+    }
+    shared.liveness.record(group, true);
+    if deleted == 0 && missing > 0 {
+        return Response::Err {
+            code: ErrCode::NotFound,
+            message: format!("no sketch named {name:?}"),
+        };
+    }
+    Response::Ok
+}
+
+/// HEALTH scatter-gather: liveness-gated health from every group,
+/// aggregated into one snapshot. Per-group state rides the `peers`
+/// slots (addr = group id); `route_epoch`/`route_handoffs` are the
+/// router's own.
+fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
+    let mut sketches = 0u64;
+    let mut store_clean = true;
+    let mut read_only = false;
+    for group in 0..shared.ring.group_count() {
+        if !shared.liveness.should_attempt(group) {
+            store_clean = false;
+            continue;
+        }
+        match shards.groups[group].health() {
+            Ok(h) => {
+                shared.liveness.record(group, true);
+                sketches = sketches.saturating_add(h.sketches);
+                store_clean &= h.store_clean;
+                read_only |= h.read_only;
+            }
+            Err(_) => {
+                shared.liveness.record(group, false);
+                store_clean = false;
+            }
+        }
+    }
+    let round = shared.liveness.round.load(Ordering::Relaxed);
+    let peers =
+        (0..shared.ring.group_count()).map(|g| shared.liveness.tracker(g).health(round)).collect();
+    Health {
+        read_only,
+        workers: u32::try_from(shared.opts.workers).unwrap_or(u32::MAX),
+        queue_capacity: u32::try_from(shared.opts.queue_depth).unwrap_or(u32::MAX),
+        queue_depth: u32::try_from(shared.queue().len()).unwrap_or(u32::MAX),
+        active: shared.active.load(Ordering::SeqCst),
+        shed: shared.shed.load(Ordering::Relaxed),
+        served: shared.served.load(Ordering::Relaxed),
+        sketches,
+        store_clean,
+        quarantined: 0,
+        truncated_tail: false,
+        rounds: 0,
+        route_epoch: shared.ring.epoch(),
+        route_handoffs: shared.handoffs.load(Ordering::Relaxed),
+        peers,
+    }
+}
+
+fn fc_expect_ok(result: Result<(), ClientError>) -> Result<Response, ClientError> {
+    result.map(|()| Response::Ok)
+}

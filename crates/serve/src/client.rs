@@ -81,6 +81,17 @@ pub enum ClientError {
     Format(FormatError),
     /// Transport failure (connect, deadline, reset) after retries.
     Io(io::Error),
+    /// A [`FailoverClient`] spent its whole attempt budget without any
+    /// replica answering. Carries the budget and one error string per
+    /// exhausted attempt (in rotation order) so the caller — a routing
+    /// tier deciding whether a whole group is down — sees every reason,
+    /// not just the last.
+    AllReplicasDown {
+        /// Attempts spent before giving up.
+        attempts: u32,
+        /// Display form of each attempt's error, oldest first.
+        last_errors: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -98,6 +109,13 @@ impl std::fmt::Display for ClientError {
             ClientError::BadReply(detail) => write!(f, "unparseable server reply: {detail}"),
             ClientError::Format(e) => write!(f, "sketch payload: {e}"),
             ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::AllReplicasDown { attempts, last_errors } => {
+                write!(f, "all replicas down after {attempts} attempts")?;
+                if let Some(last) = last_errors.last() {
+                    write!(f, " (last: {last})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -257,6 +275,29 @@ impl Client {
         }
     }
 
+    /// One page of stored names strictly after `after` in sorted order
+    /// (empty `after` starts from the beginning), plus the server's
+    /// partial-result flag. A page shorter than
+    /// [`crate::proto::MAX_LIST_NAMES`] is the last page. A plain daemon
+    /// always answers `partial: false`; a router sets it when a shard
+    /// was unreachable and the page is missing that shard's names.
+    pub fn list_page(&mut self, after: &str) -> Result<(Vec<String>, bool), ClientError> {
+        match self.request(&Request::ListPage { after: after.to_string() })? {
+            Response::NamesPage { names, partial } => Ok((names, partial)),
+            other => Err(unexpected(other, after)),
+        }
+    }
+
+    /// Remove the sketch stored under `name` (a durable tombstone). The
+    /// rebalance release step; NOT_FOUND means this replica never held
+    /// (or already released) the name.
+    pub fn delete(&mut self, name: &str) -> Result<(), ClientError> {
+        match self.request(&Request::Delete { name: name.to_string() })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
     /// The server's health snapshot (queue depth, shed count, fsck
     /// status, read-only flag).
     pub fn health(&mut self) -> Result<Health, ClientError> {
@@ -305,6 +346,56 @@ impl Client {
     /// local panic.
     pub fn merge_raw(&mut self, name: &str, payload: &[u8]) -> Result<(), ClientError> {
         let request = Request::Merge { name: name.to_string(), sketch: payload.to_vec() };
+        match self.request(&request)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// Store an already-encoded sketch payload under `name`, replacing
+    /// any existing sketch. Like [`Client::merge_raw`], the payload is
+    /// forwarded undecoded — the router's pass-through path; validation
+    /// happens at the receiving server.
+    pub fn put_raw(&mut self, name: &str, payload: &[u8]) -> Result<(), ClientError> {
+        let request = Request::Put { name: name.to_string(), sketch: payload.to_vec() };
+        match self.request(&request)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// Fetch the *encoded* sketch payload under `name`, undecoded — the
+    /// router's pass-through path (a forwarded GET need not pay a
+    /// decode/re-encode just to move bytes).
+    pub fn get_raw(&mut self, name: &str) -> Result<Vec<u8>, ClientError> {
+        match self.request(&Request::Get { name: name.to_string() })? {
+            Response::Sketch(bytes) => Ok(bytes),
+            other => Err(unexpected(other, name)),
+        }
+    }
+
+    /// Forward one already-validated BATCH_PUT frame verbatim: raw
+    /// configuration bytes and owned items, single frame, no re-chunking
+    /// — the router's pass-through path. Callers that build batches from
+    /// scratch should use [`Client::batch_put`], which validates and
+    /// chunks.
+    pub fn batch_put_raw(
+        &mut self,
+        name: &str,
+        (p, q, r): (u8, u8, u8),
+        algorithm: u8,
+        seed: u64,
+        items: &[Vec<u8>],
+    ) -> Result<(), ClientError> {
+        let request = Request::BatchPut {
+            name: name.to_string(),
+            p,
+            q,
+            r,
+            algorithm,
+            seed,
+            items: items.to_vec(),
+        };
         match self.request(&request)? {
             Response::Ok => Ok(()),
             other => Err(unexpected(other, name)),
@@ -514,6 +605,38 @@ impl FailoverClient {
         self.with_failover(|c| c.get(name))
     }
 
+    /// Store an encoded payload under `name` on whichever replica
+    /// answers (see [`Client::put_raw`]).
+    pub fn put_raw(&mut self, name: &str, payload: &[u8]) -> Result<(), ClientError> {
+        self.with_failover(|c| c.put_raw(name, payload))
+    }
+
+    /// Fold an encoded payload into `name` on whichever replica answers
+    /// (see [`Client::merge_raw`]).
+    pub fn merge_raw(&mut self, name: &str, payload: &[u8]) -> Result<(), ClientError> {
+        self.with_failover(|c| c.merge_raw(name, payload))
+    }
+
+    /// Fetch the encoded payload under `name` from whichever replica
+    /// answers (see [`Client::get_raw`]).
+    pub fn get_raw(&mut self, name: &str) -> Result<Vec<u8>, ClientError> {
+        self.with_failover(|c| c.get_raw(name))
+    }
+
+    /// Forward one BATCH_PUT frame to whichever replica answers (see
+    /// [`Client::batch_put_raw`]); safe to replay across a failover
+    /// because item insertion is idempotent.
+    pub fn batch_put_raw(
+        &mut self,
+        name: &str,
+        widths: (u8, u8, u8),
+        algorithm: u8,
+        seed: u64,
+        items: &[Vec<u8>],
+    ) -> Result<(), ClientError> {
+        self.with_failover(|c| c.batch_put_raw(name, widths, algorithm, seed, items))
+    }
+
     /// Cardinality estimate from whichever replica answers.
     pub fn card(&mut self, name: &str) -> Result<f64, ClientError> {
         self.with_failover(|c| c.card(name))
@@ -527,6 +650,14 @@ impl FailoverClient {
     /// Stored names from whichever replica answers.
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
         self.with_failover(|c| c.list())
+    }
+
+    /// One page of stored names from whichever replica answers. Note the
+    /// caveat failover always carries for listing: replicas converge
+    /// through anti-entropy, so pages from different replicas may
+    /// briefly disagree about very recent writes.
+    pub fn list_page(&mut self, after: &str) -> Result<(Vec<String>, bool), ClientError> {
+        self.with_failover(|c| c.list_page(after))
     }
 
     /// Health snapshot from whichever replica answers.
@@ -543,25 +674,29 @@ impl FailoverClient {
 
     /// Run `op` against the current replica, rotating on failures a
     /// different replica could survive, until it succeeds, fails
-    /// finally, or the attempt budget runs out.
+    /// finally, or the attempt budget runs out — which surfaces as the
+    /// typed [`ClientError::AllReplicasDown`] carrying every attempt's
+    /// error, so callers distinguish "the whole group is unreachable"
+    /// from a single transport failure without string-matching.
     fn with_failover<T>(
         &mut self,
         mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
-        let mut last_err = None;
+        let mut errors = Vec::new();
         for _ in 0..self.attempts {
-            match op(&mut self.replicas[self.current]) {
+            let replica = &mut self.replicas[self.current];
+            match op(replica) {
                 // Worth a different replica: this one is unreachable,
                 // overloaded, or refusing writes in degraded mode.
                 Err(e @ (ClientError::Io(_) | ClientError::Busy | ClientError::ReadOnly)) => {
+                    errors.push(format!("{}: {e}", replica.addr()));
                     self.current = (self.current + 1) % self.replicas.len();
-                    last_err = Some(e);
                 }
                 // Success, or a final answer every replica would repeat.
                 other => return other,
             }
         }
-        Err(last_err.expect("invariant: attempts ≥ 1, so a rotation recorded its error"))
+        Err(ClientError::AllReplicasDown { attempts: self.attempts, last_errors: errors })
     }
 }
 

@@ -38,6 +38,7 @@ pub mod server;
 pub use client::{Client, ClientError, ClientOptions, FailoverClient};
 pub use proto::{
     DigestEntry, ErrCode, Health, PeerHealth, PeerState, ProtoError, Request, Response, SyncEntry,
-    MAX_BATCH_ITEMS, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN, MAX_ITEM_LEN, MAX_PEERS, MAX_SYNC_NAMES,
+    MAX_BATCH_ITEMS, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN, MAX_ITEM_LEN, MAX_LIST_NAMES, MAX_PEERS,
+    MAX_SYNC_NAMES,
 };
 pub use server::{serve, ReplicationStatus, ServeError, ServeOptions, ServerHandle};

@@ -64,6 +64,14 @@ pub const MAX_DIGEST_ENTRIES: usize = 2048;
 /// and the caller re-requests the rest.
 pub const MAX_SYNC_NAMES: usize = 256;
 
+/// Maximum names one paginated `LIST` response carries — the same
+/// page contract as [`MAX_DIGEST_ENTRIES`]: names arrive in strictly
+/// increasing order, a page shorter than the cap is the last page, and
+/// a worst-case page (max-length names) stays well under
+/// [`MAX_FRAME_LEN`]. The unpaginated `LIST` form survives as a fast
+/// path for small stores.
+pub const MAX_LIST_NAMES: usize = 2048;
+
 /// Maximum peers a `HEALTH` response enumerates (and a daemon accepts).
 pub const MAX_PEERS: usize = 64;
 
@@ -83,6 +91,8 @@ mod op {
     pub const BATCH_PUT: u8 = 9;
     pub const DIGEST: u8 = 10;
     pub const SYNC: u8 = 11;
+    pub const LIST_PAGE: u8 = 12;
+    pub const DELETE: u8 = 13;
 }
 
 /// Response status bytes.
@@ -94,6 +104,7 @@ mod status {
     pub const HEALTH: u8 = 4;
     pub const DIGESTS: u8 = 5;
     pub const SKETCHES: u8 = 6;
+    pub const NAMES_PAGE: u8 = 7;
     pub const BUSY: u8 = 0x40;
     pub const READ_ONLY: u8 = 0x41;
     pub const ERR: u8 = 0x7f;
@@ -118,6 +129,11 @@ pub enum ErrCode {
     Incompatible,
     /// The store rejected the operation.
     Store,
+    /// A routing tier could not reach the replica group that owns the
+    /// requested name (all replicas down, or a scatter-gather shard
+    /// deadlined). Unlike a transport error this is *final for this
+    /// attempt*: the router already spent its failover budget.
+    Unavailable,
     /// Anything else; the message says what.
     Other(u8),
 }
@@ -134,6 +150,7 @@ impl ErrCode {
             ErrCode::BadSketch => 6,
             ErrCode::Incompatible => 7,
             ErrCode::Store => 8,
+            ErrCode::Unavailable => 9,
             ErrCode::Other(b) => b,
         }
     }
@@ -149,6 +166,7 @@ impl ErrCode {
             6 => ErrCode::BadSketch,
             7 => ErrCode::Incompatible,
             8 => ErrCode::Store,
+            9 => ErrCode::Unavailable,
             other => ErrCode::Other(other),
         }
     }
@@ -208,8 +226,25 @@ pub enum Request {
         /// [`MAX_BATCH_ITEMS`] per frame.
         items: Vec<Vec<u8>>,
     },
-    /// All stored names.
+    /// All stored names in one frame (the small-store fast path; large
+    /// stores should page with [`Request::ListPage`]).
     List,
+    /// One page of stored names for bounded listing: names strictly
+    /// greater than `after` (sorted), at most [`MAX_LIST_NAMES`] per
+    /// page. An empty `after` starts from the first name; a page
+    /// shorter than the cap is the last page.
+    ListPage {
+        /// Pagination cursor: return names strictly after this one.
+        /// Empty means "from the beginning".
+        after: String,
+    },
+    /// Remove the sketch stored under a name (a durable tombstone in
+    /// the store log). The routing tier's rebalance *release* step —
+    /// issued only after the destination group's copy is digest-verified.
+    Delete {
+        /// Stored name.
+        name: String,
+    },
     /// Service health and degradation state.
     Health,
     /// One page of per-key digests for anti-entropy: `(name, checksum)`
@@ -343,8 +378,16 @@ pub struct Health {
     /// Anti-entropy rounds completed since start (0 when the daemon runs
     /// without replication).
     pub rounds: u64,
+    /// Ring-config epoch a routing tier is serving (0 for a plain
+    /// daemon: it routes nothing).
+    pub route_epoch: u64,
+    /// Sketch handoffs a routing tier completed through rebalance
+    /// (copy-verify-release cycles); 0 for a plain daemon.
+    pub route_handoffs: u64,
     /// Configured replication peers and their health (empty when the
-    /// daemon runs without replication).
+    /// daemon runs without replication). A routing tier reuses these
+    /// slots for per-group liveness: one entry per replica group,
+    /// `addr` naming the group.
     pub peers: Vec<PeerHealth>,
 }
 
@@ -359,6 +402,18 @@ pub enum Response {
     Value(f64),
     /// Stored names.
     Names(Vec<String>),
+    /// One page of stored names (the `LIST_PAGE` reply): at most
+    /// [`MAX_LIST_NAMES`] names in strictly increasing order. `partial`
+    /// is set by a scatter-gathering router when one or more shards
+    /// could not be reached within their deadline — the page is the
+    /// union of the shards that answered, clearly marked degraded; a
+    /// single daemon always answers `partial: false`.
+    NamesPage {
+        /// The page of names, sorted ascending.
+        names: Vec<String>,
+        /// True when the answer is missing unreachable shards' names.
+        partial: bool,
+    },
     /// Health snapshot.
     Health(Health),
     /// One page of per-key digests (the `DIGEST` reply).
@@ -647,6 +702,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::List => out.push(op::LIST),
+        Request::ListPage { after } => {
+            out.push(op::LIST_PAGE);
+            push_cursor(&mut out, after);
+        }
+        Request::Delete { name } => {
+            out.push(op::DELETE);
+            push_name(&mut out, name);
+        }
         Request::Health => out.push(op::HEALTH),
         Request::Shutdown => out.push(op::SHUTDOWN),
     }
@@ -674,6 +737,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 push_name(&mut out, name);
             }
         }
+        Response::NamesPage { names, partial } => {
+            out.push(status::NAMES_PAGE);
+            out.push(u8::from(*partial));
+            assert!(names.len() <= MAX_LIST_NAMES, "invariant: servers cap list pages");
+            let count = u16::try_from(names.len()).expect("invariant: MAX_LIST_NAMES fits u16");
+            out.extend_from_slice(&count.to_le_bytes());
+            for name in names {
+                push_name(&mut out, name);
+            }
+        }
         Response::Health(h) => {
             out.push(status::HEALTH);
             out.push(u8::from(h.read_only));
@@ -688,6 +761,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&h.quarantined.to_le_bytes());
             out.push(u8::from(h.truncated_tail));
             out.extend_from_slice(&h.rounds.to_le_bytes());
+            out.extend_from_slice(&h.route_epoch.to_le_bytes());
+            out.extend_from_slice(&h.route_handoffs.to_le_bytes());
             assert!(h.peers.len() <= MAX_PEERS, "invariant: daemons cap peer lists");
             let count = u16::try_from(h.peers.len()).expect("invariant: MAX_PEERS fits u16");
             out.extend_from_slice(&count.to_le_bytes());
@@ -901,6 +976,8 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
             Request::Sync { names }
         }
         op::LIST => Request::List,
+        op::LIST_PAGE => Request::ListPage { after: c.cursor()? },
+        op::DELETE => Request::Delete { name: c.name()? },
         op::HEALTH => Request::Health,
         op::SHUTDOWN => Request::Shutdown,
         other => return Err(ProtoError::UnknownOp(other)),
@@ -926,6 +1003,20 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::Names(names)
         }
+        status::NAMES_PAGE => {
+            let partial = c.flag()?;
+            let count = usize::from(c.u16()?);
+            if count > MAX_LIST_NAMES {
+                return Err(ProtoError::FieldTooLarge { got: count, max: MAX_LIST_NAMES });
+            }
+            // Bound the allocation by bytes present: each name costs ≥ 3
+            // wire bytes, so a lying count fails fast on Truncated.
+            let mut names = Vec::with_capacity(count.min(c.remaining() / 3 + 1));
+            for _ in 0..count {
+                names.push(c.name()?);
+            }
+            Response::NamesPage { names, partial }
+        }
         status::HEALTH => {
             let mut h = Health {
                 read_only: c.flag()?,
@@ -940,6 +1031,8 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
                 quarantined: c.u64()?,
                 truncated_tail: c.flag()?,
                 rounds: c.u64()?,
+                route_epoch: c.u64()?,
+                route_handoffs: c.u64()?,
                 peers: Vec::new(),
             };
             let count = usize::from(c.u16()?);
@@ -1024,6 +1117,9 @@ mod tests {
         round_trip_request(Request::Card { name: "c".into() });
         round_trip_request(Request::Jaccard { a: "x".into(), b: "y".into() });
         round_trip_request(Request::List);
+        round_trip_request(Request::ListPage { after: String::new() });
+        round_trip_request(Request::ListPage { after: "resume-after-me".into() });
+        round_trip_request(Request::Delete { name: "doomed".into() });
         round_trip_request(Request::Health);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::BatchPut {
@@ -1102,6 +1198,15 @@ mod tests {
         round_trip_response(Response::Value(f64::NAN.to_bits() as f64)); // bit-exact via to_le_bytes
         round_trip_response(Response::Names(vec!["a".into(), "bb".into(), "ccc".into()]));
         round_trip_response(Response::Names(Vec::new()));
+        round_trip_response(Response::NamesPage {
+            names: vec!["a".into(), "bb".into(), "ccc".into()],
+            partial: false,
+        });
+        round_trip_response(Response::NamesPage { names: Vec::new(), partial: true });
+        round_trip_response(Response::NamesPage {
+            names: (0..MAX_LIST_NAMES).map(|i| format!("n{i:04}")).collect(),
+            partial: false,
+        });
         round_trip_response(Response::Health(Health {
             read_only: true,
             workers: 4,
@@ -1115,6 +1220,8 @@ mod tests {
             quarantined: 2,
             truncated_tail: true,
             rounds: 41,
+            route_epoch: 3,
+            route_handoffs: 1729,
             peers: vec![
                 PeerHealth {
                     addr: "10.0.0.7:7700".into(),
@@ -1230,6 +1337,35 @@ mod tests {
         let mut b = vec![3u8]; // NAMES
         b.extend_from_slice(&1_000_000u32.to_le_bytes());
         assert!(matches!(decode_response(&b), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn list_page_adversarial_bodies_are_typed_errors() {
+        // LIST_PAGE request with an oversized cursor length claim.
+        let mut b = vec![PROTO_VERSION, op::LIST_PAGE];
+        b.extend_from_slice(&u16::try_from(MAX_NAME_LEN + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_NAME_LEN + 1, max: MAX_NAME_LEN })
+        );
+        // NAMES_PAGE response with a count over the page cap: rejected
+        // before any name bytes are believed.
+        let mut b = vec![status::NAMES_PAGE, 0];
+        b.extend_from_slice(&u16::try_from(MAX_LIST_NAMES + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_response(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_LIST_NAMES + 1, max: MAX_LIST_NAMES })
+        );
+        // NAMES_PAGE response lying about its name count.
+        let mut b = vec![status::NAMES_PAGE, 1];
+        b.extend_from_slice(&100u16.to_le_bytes());
+        b.extend_from_slice(&1u16.to_le_bytes());
+        b.push(b'x');
+        assert!(matches!(decode_response(&b), Err(ProtoError::Truncated { .. })));
+        // DELETE request with an empty name.
+        let mut b = vec![PROTO_VERSION, op::DELETE];
+        b.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_request(&b), Err(ProtoError::BadString));
     }
 
     #[test]
@@ -1366,6 +1502,7 @@ mod tests {
             ErrCode::BadSketch,
             ErrCode::Incompatible,
             ErrCode::Store,
+            ErrCode::Unavailable,
             ErrCode::Other(77),
         ] {
             assert_eq!(ErrCode::from_byte(code.to_byte()), code);

@@ -42,7 +42,7 @@ use hmh_store::{FileBackend, SketchStore, StoreError, StoreOptions};
 use crate::proto::{
     decode_request, encode_response, read_frame, write_frame, DigestEntry, ErrCode, FrameError,
     Health, PeerHealth, Request, Response, SyncEntry, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN,
-    MAX_SYNC_NAMES,
+    MAX_LIST_NAMES, MAX_SYNC_NAMES,
 };
 
 /// Daemon configuration.
@@ -407,6 +407,13 @@ fn handle_request(shared: &Shared, request: Request) -> (Response, Disposition) 
             (Err(resp), _) | (_, Err(resp)) => resp,
         },
         Request::List => Response::Names(shared.store().names().map(str::to_string).collect()),
+        Request::ListPage { after } => {
+            // A single daemon always answers its whole page; `partial`
+            // is a router-side marker for missing shards.
+            let names = shared.store().names_page(&after, MAX_LIST_NAMES);
+            Response::NamesPage { names, partial: false }
+        }
+        Request::Delete { name } => delete_op(shared, &name),
         Request::Health => Response::Health(health_snapshot(shared)),
         Request::Digest { after } => {
             Response::Digests(digest_page(&shared.store(), &after, MAX_DIGEST_ENTRIES))
@@ -561,6 +568,25 @@ fn batch_put(
     commit_result(shared, result)
 }
 
+/// DELETE: the routing tier's rebalance *release* step. Same write
+/// discipline as [`write_op`]: refuse in read-only mode, trip read-only
+/// degradation on a store I/O error. Deleting an absent name is
+/// NOT_FOUND, not success — the releasing router must know whether this
+/// replica ever held the sketch.
+fn delete_op(shared: &Shared, name: &str) -> Response {
+    if shared.read_only.load(Ordering::SeqCst) {
+        return Response::ReadOnly;
+    }
+    let mut store = shared.store();
+    let result = store.remove(name);
+    drop(store);
+    match result {
+        Ok(true) => Response::Ok,
+        Ok(false) => not_found(name),
+        Err(e) => commit_result(shared, Err(e)),
+    }
+}
+
 /// Map a store write result onto the wire, tripping read-only
 /// degradation when the disk refuses the write.
 fn commit_result(shared: &Shared, result: Result<(), StoreError>) -> Response {
@@ -604,6 +630,10 @@ fn health_snapshot(shared: &Shared) -> Health {
         quarantined,
         truncated_tail,
         rounds,
+        // A plain daemon routes nothing; a routing tier synthesizes its
+        // own HEALTH with these filled in.
+        route_epoch: 0,
+        route_handoffs: 0,
         peers,
     }
 }

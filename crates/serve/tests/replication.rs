@@ -784,9 +784,60 @@ fn failover_client_completes_operations_with_a_node_down() {
     }
     assert_eq!(fc.current_addr(), addr_b, "NotFound must not rotate");
 
-    // With every replica down, the budget bounds the attempt count.
+    // With every replica down, the budget bounds the attempt count and
+    // the exhaustion is the typed all-down error, not a raw transport
+    // error from whichever replica happened to be tried last.
     fc.shutdown().unwrap();
     b.join();
     let err = fc.card("events").unwrap_err();
-    assert!(matches!(err, ClientError::Io(_)), "exhausted budget surfaces transport: {err:?}");
+    match err {
+        ClientError::AllReplicasDown { attempts, last_errors } => {
+            assert_eq!(attempts, 3, "the configured budget is reported");
+            assert_eq!(last_errors.len(), 3, "one error recorded per attempt");
+        }
+        other => panic!("expected AllReplicasDown, got {other:?}"),
+    }
+}
+
+/// The all-down path is typed from the first call: a failover client
+/// whose every replica refuses connections reports `AllReplicasDown`
+/// with per-attempt detail (address plus cause) rather than hanging,
+/// panicking, or surfacing a single replica's raw error.
+#[test]
+fn failover_client_types_the_all_down_path() {
+    // Bind-then-drop: both addresses were just live, so nothing else can
+    // be listening there, and connects fail fast with refused.
+    let addr_a = reserve_addr();
+    let addr_b = reserve_addr();
+
+    let opts = ClientOptions {
+        connect_timeout: Duration::from_millis(300),
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        retry: RetryPolicy::none(),
+    };
+    let mut fc = FailoverClient::with_options(&[addr_a, addr_b], opts, 4);
+    let err = fc.put("orphan", &sketch(0, 100)).unwrap_err();
+    match err {
+        ClientError::AllReplicasDown { attempts, last_errors } => {
+            assert_eq!(attempts, 4);
+            assert_eq!(last_errors.len(), 4);
+            // Rotation order: a, b, a, b — each entry names its replica.
+            assert!(last_errors[0].starts_with(&addr_a.to_string()), "{last_errors:?}");
+            assert!(last_errors[1].starts_with(&addr_b.to_string()), "{last_errors:?}");
+            assert!(
+                last_errors.iter().all(|e| e.contains("transport")),
+                "each attempt records its cause: {last_errors:?}"
+            );
+        }
+        other => panic!("expected AllReplicasDown, got {other:?}"),
+    }
+    // The Display form summarizes without dumping every attempt.
+    let display = fc.put("orphan", &sketch(0, 100)).unwrap_err().to_string();
+    assert!(display.contains("all replicas down after 4 attempts"), "{display}");
+}
+
+/// A live address that nothing listens on: bind, read the port, drop.
+fn reserve_addr() -> std::net::SocketAddr {
+    std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap()
 }

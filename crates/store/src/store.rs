@@ -269,6 +269,21 @@ impl<B: Backend> SketchStore<B> {
         self.entries.keys().map(String::as_str)
     }
 
+    /// One page of stored names: up to `limit` names strictly after
+    /// `after` in sorted order (empty `after` starts from the
+    /// beginning). The listing analogue of [`Self::digest_page`] — the
+    /// cursor contract is identical, so paginated LIST over the wire
+    /// inherits the same termination proof (each page advances the
+    /// cursor strictly, names are finite).
+    pub fn names_page(&self, after: &str, limit: usize) -> Vec<String> {
+        use std::ops::Bound;
+        self.entries
+            .range::<str, _>((Bound::Excluded(after), Bound::Unbounded))
+            .take(limit)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
     /// One page of replication digests: up to `limit` `(name, checksum)`
     /// pairs for names strictly after `after` in sorted order (empty
     /// `after` starts from the beginning). The checksum is xxHash64 of
