@@ -114,8 +114,9 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-/// JSON string escaping per RFC 8259.
-fn json_str(s: &str) -> String {
+/// JSON string escaping per RFC 8259 — shared by every JSON emitter in
+/// the tool (diagnostics, baseline, audit).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -14,8 +14,9 @@ use std::path::{Path, PathBuf};
 
 use crate::config::Config;
 use crate::diag::{sort_diagnostics, Diagnostic, Severity};
-use crate::rules::{all_rules, known_rule_names, FileCtx};
-use crate::source::SourceFile;
+use crate::rules::{all_rules, concurrency, known_rule_names, netloop, wire, FileCtx};
+use crate::source::{SourceFile, Suppression};
+use crate::syntax::ParsedFile;
 
 /// Result of a workspace check.
 #[derive(Debug, Default)]
@@ -60,30 +61,87 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Check the whole workspace rooted at `root` with `config`.
+///
+/// Pipeline order matters: every per-file and workspace rule runs
+/// *raw* first, and suppressions are applied per file at the very end
+/// — a suppression for a workspace finding (say `unbounded-net-loop`)
+/// must see that finding, or it would be reported as unused.
 pub fn check_workspace(root: &Path, config: &Config) -> io::Result<Report> {
     let mut report = Report::default();
     let crates = discover_crates(root)?;
     report.crates_scanned = crates.len();
+
+    // Phase 1: parse every file, run the per-file rules raw.
+    let mut parsed: Vec<(String, Vec<ParsedFile>)> = Vec::new();
+    let mut raw: std::collections::BTreeMap<String, Vec<Diagnostic>> =
+        std::collections::BTreeMap::new();
     for krate in &crates {
         let mut files = Vec::new();
         collect_rs_files(&krate.src, &mut files)?;
         files.sort();
+        let mut crate_parsed = Vec::new();
         for file in files {
             let text = fs::read_to_string(&file)?;
             let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
             let is_bin = rel.ends_with("/main.rs") || rel.contains("/bin/");
-            report.diagnostics.extend(lint_text(&krate.name, &rel, is_bin, &text, config));
+            let pf = ParsedFile::parse(&rel, is_bin, &text);
+            let ctx =
+                FileCtx { crate_name: &krate.name, path: &rel, is_bin, src: &pf.src, config };
+            let diags = raw.entry(rel.clone()).or_default();
+            for rule in all_rules() {
+                if rule_applies(config, rule.name(), &krate.name) {
+                    rule.check(&ctx, diags);
+                }
+            }
+            crate_parsed.push(pf);
             report.files_scanned += 1;
         }
         check_forbid_unsafe(root, krate, config, &mut report.diagnostics);
+        parsed.push((krate.name.clone(), crate_parsed));
+    }
+
+    // Phase 2: crate-scoped workspace rules.
+    let mut ws_diags = Vec::new();
+    for (name, files) in &parsed {
+        let slice: Vec<&ParsedFile> = files.iter().collect();
+        if rule_applies(config, "lock-order", name) {
+            concurrency::check_lock_order(&slice, config, &mut ws_diags);
+        }
+        if rule_applies(config, "blocking-under-lock", name) {
+            concurrency::check_blocking_under_lock(&slice, config, &mut ws_diags);
+        }
+        if rule_applies(config, "unbounded-net-loop", name) {
+            netloop::check_unbounded_net_loop(&slice, config, &mut ws_diags);
+        }
+    }
+
+    // Phase 3: wire-drift across every scoped crate at once.
+    let wire_files: Vec<&ParsedFile> = parsed
+        .iter()
+        .filter(|(name, _)| rule_applies(config, "wire-drift", name))
+        .flat_map(|(_, files)| files.iter())
+        .collect();
+    wire::check_wire_drift(&wire_files, config, &mut ws_diags);
+
+    // Phase 4: distribute workspace findings to their files, then apply
+    // suppressions file by file.
+    for d in ws_diags {
+        raw.entry(d.file.clone()).or_default().push(d);
+    }
+    for (_, files) in &parsed {
+        for pf in files {
+            let diags = raw.remove(&pf.rel).unwrap_or_default();
+            report.diagnostics.extend(apply_suppressions(&pf.src, &pf.rel, diags));
+        }
     }
     sort_diagnostics(&mut report.diagnostics);
     Ok(report)
 }
 
-/// Lint one file's text: run every applicable rule, then apply and
-/// audit the file's suppressions. Public so fixture tests can exercise
-/// rules on files that are not part of any real workspace.
+/// Lint one file's text through the *full* pipeline — per-file rules,
+/// the workspace rules restricted to this single file, and suppression
+/// application. Public so fixture tests can exercise rules on files
+/// that are not part of any real workspace.
 pub fn lint_text(
     crate_name: &str,
     rel_path: &str,
@@ -91,15 +149,56 @@ pub fn lint_text(
     text: &str,
     config: &Config,
 ) -> Vec<Diagnostic> {
-    let src = SourceFile::parse(text);
-    let ctx = FileCtx { crate_name, path: rel_path, is_bin, src: &src, config };
+    let pf = ParsedFile::parse(rel_path, is_bin, text);
+    let ctx = FileCtx { crate_name, path: rel_path, is_bin, src: &pf.src, config };
     let mut raw = Vec::new();
     for rule in all_rules() {
         if rule_applies(config, rule.name(), crate_name) {
             rule.check(&ctx, &mut raw);
         }
     }
-    apply_suppressions(&ctx, raw)
+    let slice = [&pf];
+    if rule_applies(config, "lock-order", crate_name) {
+        concurrency::check_lock_order(&slice, config, &mut raw);
+    }
+    if rule_applies(config, "blocking-under-lock", crate_name) {
+        concurrency::check_blocking_under_lock(&slice, config, &mut raw);
+    }
+    if rule_applies(config, "unbounded-net-loop", crate_name) {
+        netloop::check_unbounded_net_loop(&slice, config, &mut raw);
+    }
+    if rule_applies(config, "wire-drift", crate_name) {
+        wire::check_wire_drift(&slice, config, &mut raw);
+    }
+    apply_suppressions(&pf.src, rel_path, raw)
+}
+
+/// Sorted names of the workspace members `check_workspace` would scan —
+/// the discovery ground truth the `scopes` subcommand audits `Lint.toml`
+/// against.
+pub fn discovered_crate_names(root: &Path) -> io::Result<Vec<String>> {
+    Ok(discover_crates(root)?.into_iter().map(|c| c.name).collect())
+}
+
+/// Every inline suppression in the workspace, as
+/// `(crate, file, suppression)`, in scan order — the `audit`
+/// subcommand's data source.
+pub fn collect_suppressions(root: &Path) -> io::Result<Vec<(String, String, Suppression)>> {
+    let mut out = Vec::new();
+    for krate in discover_crates(root)? {
+        let mut files = Vec::new();
+        collect_rs_files(&krate.src, &mut files)?;
+        files.sort();
+        for file in files {
+            let text = fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            let src = SourceFile::parse(&text);
+            for s in src.suppressions {
+                out.push((krate.name.clone(), rel.clone(), s));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Is `rule` enabled and in scope for `crate_name`?
@@ -114,16 +213,16 @@ fn rule_applies(config: &Config, rule: &str, crate_name: &str) -> bool {
 }
 
 /// Drop suppressed findings; emit diagnostics for malformed, reasonless,
-/// unknown-rule and unused suppressions.
-fn apply_suppressions(ctx: &FileCtx<'_>, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// unknown-rule and unused suppressions. Runs once per file, after
+/// every rule (per-file and workspace) has contributed to `raw`.
+fn apply_suppressions(src: &SourceFile, path: &str, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let known = known_rule_names();
-    let mut used = vec![false; ctx.src.suppressions.len()];
+    let mut used = vec![false; src.suppressions.len()];
     let mut out: Vec<Diagnostic> = Vec::new();
     for diag in raw {
-        let matched =
-            ctx.src.suppressions.iter().enumerate().find(|(_, s)| {
-                s.applies_to == diag.line && s.rules.iter().any(|r| r == &diag.rule)
-            });
+        let matched = src.suppressions.iter().enumerate().find(|(_, s)| {
+            s.applies_to == diag.line && s.rules.iter().any(|r| r == &diag.rule)
+        });
         match matched {
             Some((i, s)) if !s.reason.is_empty() => used[i] = true,
             Some((i, _)) => {
@@ -135,13 +234,13 @@ fn apply_suppressions(ctx: &FileCtx<'_>, raw: Vec<Diagnostic>) -> Vec<Diagnostic
             None => out.push(diag),
         }
     }
-    for (i, s) in ctx.src.suppressions.iter().enumerate() {
+    for (i, s) in src.suppressions.iter().enumerate() {
         if s.reason.is_empty() {
             out.push(
                 Diagnostic::new(
                     "bad-suppression",
                     Severity::Error,
-                    ctx.path,
+                    path,
                     s.comment_line,
                     1,
                     "suppression carries no written reason".to_string(),
@@ -157,7 +256,7 @@ fn apply_suppressions(ctx: &FileCtx<'_>, raw: Vec<Diagnostic>) -> Vec<Diagnostic
                 out.push(Diagnostic::new(
                     "bad-suppression",
                     Severity::Error,
-                    ctx.path,
+                    path,
                     s.comment_line,
                     1,
                     format!("suppression names unknown rule `{r}`"),
@@ -169,7 +268,7 @@ fn apply_suppressions(ctx: &FileCtx<'_>, raw: Vec<Diagnostic>) -> Vec<Diagnostic
                 Diagnostic::new(
                     "unused-suppression",
                     Severity::Warning,
-                    ctx.path,
+                    path,
                     s.comment_line,
                     1,
                     format!("suppression for `{}` matches no finding", s.rules.join(", ")),
@@ -178,11 +277,11 @@ fn apply_suppressions(ctx: &FileCtx<'_>, raw: Vec<Diagnostic>) -> Vec<Diagnostic
             );
         }
     }
-    for b in &ctx.src.bad_suppressions {
+    for b in &src.bad_suppressions {
         out.push(Diagnostic::new(
             "bad-suppression",
             Severity::Error,
-            ctx.path,
+            path,
             b.line,
             1,
             b.what.clone(),

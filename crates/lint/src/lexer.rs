@@ -30,6 +30,10 @@ pub enum TokenKind {
     ByteStr,
     /// `br"…"` / `br#"…"#` raw byte string.
     RawByteStr,
+    /// `c"…"` C-string literal (Rust 1.77+).
+    CStr,
+    /// `cr"…"` / `cr#"…"#` raw C-string literal.
+    RawCStr,
     /// `'x'`, `'\n'`, `'\''`, `'"'` — a character literal.
     Char,
     /// `b'x'` byte literal.
@@ -171,6 +175,16 @@ impl<'a> Lexer<'a> {
                 self.bump(); // b
                 self.char_literal();
                 TokenKind::Byte
+            }
+            b'c' if self.peek(1) == Some(b'"') => {
+                self.bump(); // c
+                self.quoted_string();
+                TokenKind::CStr
+            }
+            b'c' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                self.bump_n(2); // cr
+                self.raw_string_body();
+                TokenKind::RawCStr
             }
             b'\'' => self.quote(),
             _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
@@ -332,6 +346,13 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// The name an [`TokenKind::Ident`] token denotes: strips the `r#`
+/// raw-identifier prefix so `r#type` and `type` compare equal. The
+/// syntactic analyzer keys call sites and const names on this form.
+pub fn ident_name(text: &str) -> &str {
+    text.strip_prefix("r#").unwrap_or(text)
+}
+
 /// Whether a [`TokenKind::Number`] literal text denotes a float.
 pub fn number_is_float(text: &str) -> bool {
     if text.starts_with("0x") || text.starts_with("0X") {
@@ -386,6 +407,34 @@ mod tests {
         assert_eq!(got[3], (TokenKind::Number, "10".into()));
         assert_eq!(got[4], (TokenKind::Number, "1.5e3".into()));
         assert_eq!(got[5], (TokenKind::Number, "0b1010u8".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_fold_into_ident() {
+        let got = kinds("let r#type = r#match; r# ident");
+        assert_eq!(got[1], (TokenKind::Ident, "r#type".into()));
+        assert_eq!(got[3], (TokenKind::Ident, "r#match".into()));
+        // A dangling `r#` (no ident after) degrades losslessly.
+        assert_round_trips("r# ");
+        assert_eq!(ident_name("r#type"), "type");
+        assert_eq!(ident_name("plain"), "plain");
+    }
+
+    #[test]
+    fn c_string_literals() {
+        let got = kinds(r##"let a = c"null\0terminated"; let b = cr#"raw c "str""#;"##);
+        assert_eq!(got[3].0, TokenKind::CStr);
+        assert_eq!(got[8].0, TokenKind::RawCStr);
+        assert_round_trips(r##"c"x" cr"y" cr#"z"#"##);
+        // `c` and `cr` stay ordinary identifiers when no string follows.
+        let got = kinds("let c = cr + 1;");
+        assert_eq!(got[1], (TokenKind::Ident, "c".into()));
+        assert_eq!(got[3], (TokenKind::Ident, "cr".into()));
+    }
+
+    fn assert_round_trips(src: &str) {
+        let rebuilt: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
     }
 
     #[test]

@@ -18,14 +18,30 @@
 //! | `nondeterminism`        | simulator/workload ground truth |
 //! | `durability`            | fsync-before-rename (DESIGN.md §6.6) |
 //! | `forbid-unsafe`         | `#![forbid(unsafe_code)]` stays put |
+//! | `lock-order`            | a global lock order (no AB/BA deadlock) |
+//! | `blocking-under-lock`   | no sleeps/joins/recvs under a held guard |
+//! | `unbounded-net-loop`    | retry/accept loops show a visible bound |
+//! | `wire-drift`            | one opcode table across all crates |
 //!
-//! Self-contained by design: its own lexer ([`lexer`]), config parser
-//! ([`config`]) and JSON emitter ([`diag`]) — no dependencies, so the
+//! The last four are *workspace rules*: they run over a syntactic model
+//! ([`syntax`]) of every file — per-function call sites, guard-holding
+//! regions, loop headers, and const values — rather than line-by-line,
+//! and `wire-drift` compares const definitions *across* crates.
+//!
+//! Self-contained by design: its own lexer ([`lexer`]), parser
+//! ([`syntax`]), config parser ([`config`]), JSON emitter ([`diag`]) and
+//! ratchet baseline codec ([`baseline`]) — no dependencies, so the
 //! linter can never be broken by the code it checks.
 //!
 //! ```text
-//! cargo run -p hmh-lint -- check [--deny] [--json] [--root <dir>]
+//! cargo run -p hmh-lint -- check [--deny] [--json] [--ratchet] [--root <dir>]
+//! cargo run -p hmh-lint -- audit [--json]     # suppression inventory
+//! cargo run -p hmh-lint -- scopes             # Lint.toml covers every crate
 //! ```
+//!
+//! `--ratchet` compares findings against the committed
+//! `lint-baseline.json` and fails on anything new *or* on stale entries
+//! — the baseline only shrinks. `--write-baseline` regenerates it.
 //!
 //! Suppressions are inline, per-rule, and must argue their case:
 //!
@@ -36,16 +52,21 @@
 //! A suppression with no reason, naming an unknown rule, or matching no
 //! finding is itself a diagnostic.
 
+pub mod baseline;
 pub mod config;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod syntax;
 
 pub use config::Config;
 pub use diag::{Diagnostic, Severity};
-pub use engine::{check_workspace, find_workspace_root, lint_text, Report};
+pub use engine::{
+    check_workspace, collect_suppressions, discovered_crate_names, find_workspace_root, lint_text,
+    Report,
+};
 
 /// Name of the workspace config file, looked up at the workspace root.
 pub const CONFIG_FILE: &str = "Lint.toml";

@@ -14,11 +14,14 @@ use crate::diag::{Diagnostic, Severity};
 use crate::source::SourceFile;
 
 mod cast;
+pub mod concurrency;
 mod durability;
 mod float;
+pub mod netloop;
 mod nondet;
 mod panic;
 mod shift;
+pub mod wire;
 
 /// Everything a rule may look at for one file.
 pub struct FileCtx<'a> {
@@ -88,10 +91,37 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
+/// The syntactic workspace rules: they run over whole crates (or, for
+/// `wire-drift`, the whole workspace) on the models from
+/// [`crate::syntax`], not file by file. `(name, description)` pairs —
+/// the check functions live in [`concurrency`], [`netloop`], [`wire`].
+pub fn workspace_rules() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "lock-order",
+            "lock acquisition graph per crate: re-acquisition, cycles, inconsistent order",
+        ),
+        (
+            "blocking-under-lock",
+            "sleep/join/channel-recv/dial reached while a MutexGuard is lexically live",
+        ),
+        (
+            "unbounded-net-loop",
+            "loop containing dial/frame I/O must show an attempt counter, budget or pacer",
+        ),
+        (
+            "wire-drift",
+            "opcode/cap/seed constants must agree across crates; opcode matches exhaustive",
+        ),
+    ]
+}
+
 /// Every rule name the engine accepts in `allow(...)` and `Lint.toml`,
-/// including the engine-level checks that are not per-file rules.
+/// including the workspace-level and engine-level checks that are not
+/// per-file rules.
 pub fn known_rule_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    names.extend(workspace_rules().iter().map(|(n, _)| *n));
     names.push("forbid-unsafe");
     names
 }

@@ -84,6 +84,8 @@ fn scrub(text: &str, tokens: &[Token]) -> Vec<String> {
             | TokenKind::RawStr
             | TokenKind::ByteStr
             | TokenKind::RawByteStr
+            | TokenKind::CStr
+            | TokenKind::RawCStr
             | TokenKind::Char
             | TokenKind::Byte => {
                 for c in body.chars() {

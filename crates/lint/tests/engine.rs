@@ -27,6 +27,18 @@ impl TempWs {
         fs::write(src.join("lib.rs"), lib_rs).expect("write");
         Self { root }
     }
+
+    /// Add a second (or third…) crate to the synthetic workspace.
+    fn add_crate(&self, name: &str, lib_rs: &str) {
+        let src = self.root.join(format!("crates/{name}/src"));
+        fs::create_dir_all(&src).expect("mkdir");
+        fs::write(
+            self.root.join(format!("crates/{name}/Cargo.toml")),
+            format!("[package]\nname = \"{name}\"\nversion = \"0.1.0\"\n"),
+        )
+        .expect("write");
+        fs::write(src.join("lib.rs"), lib_rs).expect("write");
+    }
 }
 
 impl Drop for TempWs {
@@ -103,4 +115,45 @@ fn per_file_rules_run_inside_the_discovered_workspace() {
     let diags = run(&ws, cfg);
     assert_eq!(diags.len(), 1, "diags: {diags:?}");
     assert_eq!(diags[0].0, "shift-overflow-hazard");
+}
+
+// -----------------------------------------------------------------
+// wire-drift across crates
+// -----------------------------------------------------------------
+
+const DRIFT_CFG: &str = "[rules.wire-drift]\ncrates = [\"alpha\", \"beta\"]\nconst_groups = [\"op\"]\n";
+
+const ALPHA_OPS: &str =
+    "pub mod op {\n    pub const PUT: u8 = 1;\n    pub const GET: u8 = 2;\n}\n";
+
+#[test]
+fn wire_drift_fires_when_two_crates_disagree_on_an_opcode() {
+    let beta = "pub mod op {\n    pub const PUT: u8 = 1;\n    pub const GET: u8 = 3;\n}\n";
+    let ws = TempWs::new("drift-fire", ALPHA_OPS, DRIFT_CFG);
+    ws.add_crate("beta", beta);
+    let diags = run(&ws, DRIFT_CFG);
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert_eq!(diags[0].0, "wire-drift");
+    assert!(
+        diags[0].1.ends_with("crates/beta/src/lib.rs"),
+        "the divergent (non-canonical) site is flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn wire_drift_passes_when_crates_agree() {
+    let ws = TempWs::new("drift-pass", ALPHA_OPS, DRIFT_CFG);
+    ws.add_crate("beta", ALPHA_OPS);
+    let diags = run(&ws, DRIFT_CFG);
+    assert!(diags.is_empty(), "identical opcode tables are clean: {diags:?}");
+}
+
+#[test]
+fn wire_drift_ignores_crates_outside_its_scope() {
+    let cfg = "[rules.wire-drift]\ncrates = [\"alpha\"]\nconst_groups = [\"op\"]\n";
+    let beta = "pub mod op {\n    pub const PUT: u8 = 9;\n    pub const GET: u8 = 9;\n}\n";
+    let ws = TempWs::new("drift-scope", ALPHA_OPS, cfg);
+    ws.add_crate("beta", beta);
+    let diags = run(&ws, cfg);
+    assert!(diags.is_empty(), "beta is out of scope, so there is no second site: {diags:?}");
 }

@@ -1,0 +1,14 @@
+//! FIXTURE: a channel receive while the queue guard is live — every
+//! other thread that wants the queue now waits on the channel too.
+
+pub struct Shared {
+    pub queue: std::sync::Mutex<Vec<u64>>,
+}
+
+pub fn drain_one(s: &Shared, rx: &std::sync::mpsc::Receiver<u64>) {
+    let mut queue = s.queue.lock();
+    let item = rx.recv();
+    if let Ok(v) = item {
+        queue.push(v);
+    }
+}

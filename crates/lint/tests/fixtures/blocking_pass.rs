@@ -1,0 +1,13 @@
+//! FIXTURE: the guard is dropped before the blocking receive — the
+//! discipline the firing fixture violates.
+
+pub struct Shared {
+    pub queue: std::sync::Mutex<Vec<u64>>,
+}
+
+pub fn drain_one(s: &Shared, rx: &std::sync::mpsc::Receiver<u64>) {
+    let mut queue = s.queue.lock();
+    queue.push(0);
+    drop(queue);
+    let _ = rx.recv();
+}

@@ -1,0 +1,19 @@
+//! FIXTURE: two functions take the same two locks in opposite orders —
+//! the classic AB/BA deadlock once both run concurrently.
+
+pub struct Shared {
+    pub store: std::sync::Mutex<u64>,
+    pub queue: std::sync::Mutex<u64>,
+}
+
+pub fn forward(s: &Shared) -> u64 {
+    let store = s.store.lock();
+    let queue = s.queue.lock();
+    *store + *queue
+}
+
+pub fn backward(s: &Shared) -> u64 {
+    let queue = s.queue.lock();
+    let store = s.store.lock();
+    *store + *queue
+}

@@ -1,0 +1,21 @@
+//! FIXTURE: both functions respect the same global order (store before
+//! queue), and one releases early via drop — no cycle, no finding.
+
+pub struct Shared {
+    pub store: std::sync::Mutex<u64>,
+    pub queue: std::sync::Mutex<u64>,
+}
+
+pub fn forward(s: &Shared) -> u64 {
+    let store = s.store.lock();
+    let queue = s.queue.lock();
+    *store + *queue
+}
+
+pub fn also_forward(s: &Shared) -> u64 {
+    let store = s.store.lock();
+    let total = *store;
+    drop(store);
+    let queue = s.queue.lock();
+    total + *queue
+}

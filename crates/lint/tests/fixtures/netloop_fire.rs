@@ -1,0 +1,10 @@
+//! FIXTURE: dial-until-it-works with no attempt counter, budget or
+//! pacer anywhere in the loop — spins forever against a dead peer.
+
+pub fn dial(addr: &str) -> Option<std::net::TcpStream> {
+    loop {
+        if let Ok(conn) = std::net::TcpStream::connect(addr) {
+            return Some(conn);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! FIXTURE: the same dial loop, but the bound is visible — an attempt
+//! counter marched toward a cap.
+
+pub const MAX_DIAL_ATTEMPTS: u32 = 5;
+
+pub fn dial(addr: &str) -> Option<std::net::TcpStream> {
+    let mut attempts = 0u32;
+    loop {
+        if let Ok(conn) = std::net::TcpStream::connect(addr) {
+            return Some(conn);
+        }
+        attempts += 1;
+        if attempts >= MAX_DIAL_ATTEMPTS {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! FIXTURE: an opcode dispatch that names two of the group's three
+//! constants and hides the third behind a wildcard — exactly how a
+//! newly added opcode gets silently dropped.
+
+pub mod op {
+    pub const PUT: u8 = 1;
+    pub const GET: u8 = 2;
+    pub const DELETE: u8 = 3;
+}
+
+pub fn dispatch(code: u8) -> &'static str {
+    match code {
+        op::PUT => "put",
+        op::GET => "get",
+        _ => "unknown",
+    }
+}

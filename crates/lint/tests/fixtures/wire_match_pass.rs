@@ -1,0 +1,17 @@
+//! FIXTURE: the dispatch covers the whole opcode group; the wildcard
+//! only catches genuinely unknown bytes.
+
+pub mod op {
+    pub const PUT: u8 = 1;
+    pub const GET: u8 = 2;
+    pub const DELETE: u8 = 3;
+}
+
+pub fn dispatch(code: u8) -> &'static str {
+    match code {
+        op::PUT => "put",
+        op::GET => "get",
+        op::DELETE => "delete",
+        _ => "unknown",
+    }
+}

@@ -106,6 +106,10 @@ const CASES: u64 = 64;
 const FRAGMENTS: &[&str] = &[
     "ident",
     "r#match",
+    "r#type",
+    "c\"c string body\"",
+    "c\"with \\\" escape\"",
+    "cr#\"raw c \"body\"\"#",
     "x1_y2",
     "0xfe_ed",
     "0b1010",

@@ -29,6 +29,24 @@ crates = ["simulate"]
 [rules.durability]
 crates = ["store"]
 sync_window = 12
+
+[rules.lock-order]
+crates = ["serve"]
+
+[rules.blocking-under-lock]
+crates = ["serve"]
+blocking_calls = ["sleep", "join", "recv", "recv_timeout", "connect", "write_frame", "read_frame"]
+
+[rules.unbounded-net-loop]
+crates = ["serve"]
+net_calls = ["connect", "accept", "write_frame", "read_frame", "read_exact", "write_all"]
+bound_tokens = ["attempt", "attempts", "retry", "retries", "budget", "deadline", "shutdown", "timeout", "remaining"]
+
+[rules.wire-drift]
+crates = ["serve"]
+const_groups = ["op", "status"]
+name_patterns = ["PROTO_", "MAX_", "_SEED"]
+match_groups = ["op", "status"]
 "#;
 
 fn config() -> Config {
@@ -245,4 +263,114 @@ fn findings_point_at_file_line_col() {
     assert_eq!(diags[0].line, 2);
     assert!(diags[0].col > 1, "column should point inside the line");
     assert_eq!(diags[0].severity, Severity::Error);
+}
+
+// -----------------------------------------------------------------
+// lock-order
+// -----------------------------------------------------------------
+
+#[test]
+fn lock_order_fires_on_inverted_order() {
+    let f = fired("serve", include_str!("fixtures/lock_order_fire.rs"));
+    assert_eq!(count_rule(&f, "lock-order"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn lock_order_passes_consistent_order() {
+    let f = fired("serve", include_str!("fixtures/lock_order_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+#[test]
+fn lock_order_fires_on_reacquisition() {
+    let src = "pub struct S {\n    pub q: std::sync::Mutex<u64>,\n}\npub fn double(s: &S) -> u64 {\n    let a = s.q.lock();\n    let b = s.q.lock();\n    *a + *b\n}\n";
+    let f = fired("serve", src);
+    assert_eq!(count_rule(&f, "lock-order"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn lock_order_is_crate_scoped() {
+    let f = fired("core", include_str!("fixtures/lock_order_fire.rs"));
+    assert_eq!(count_rule(&f, "lock-order"), 0, "findings: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// blocking-under-lock
+// -----------------------------------------------------------------
+
+#[test]
+fn blocking_fires_under_live_guard() {
+    let f = fired("serve", include_str!("fixtures/blocking_fire.rs"));
+    assert_eq!(count_rule(&f, "blocking-under-lock"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn blocking_passes_after_drop() {
+    let f = fired("serve", include_str!("fixtures/blocking_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+#[test]
+fn blocking_ignores_calls_outside_any_guard() {
+    let src = "pub fn wait(rx: &std::sync::mpsc::Receiver<u64>) -> u64 {\n    match rx.recv() {\n        Ok(v) => v,\n        Err(_) => 0,\n    }\n}\n";
+    let f = fired("serve", src);
+    assert!(f.is_empty(), "no guard is live: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// unbounded-net-loop
+// -----------------------------------------------------------------
+
+#[test]
+fn netloop_fires_on_unbounded_dial() {
+    let f = fired("serve", include_str!("fixtures/netloop_fire.rs"));
+    assert_eq!(count_rule(&f, "unbounded-net-loop"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn netloop_passes_with_attempt_cap() {
+    let f = fired("serve", include_str!("fixtures/netloop_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+#[test]
+fn netloop_exempts_for_loops() {
+    let src = "pub fn flush(streams: &mut Vec<std::net::TcpStream>) {\n    for s in streams.iter_mut() {\n        write_frame(s);\n    }\n}\nfn write_frame(_s: &mut std::net::TcpStream) {}\n";
+    let f = fired("serve", src);
+    assert!(f.is_empty(), "for-loops are structurally bounded: {f:?}");
+}
+
+#[test]
+fn netloop_exempts_while_with_comparison() {
+    let src = "pub fn pump(n: u64) {\n    let mut sent = 0u64;\n    while sent < n {\n        write_frame(sent);\n        sent += 1;\n    }\n}\nfn write_frame(_v: u64) {}\n";
+    let f = fired("serve", src);
+    assert!(f.is_empty(), "comparison in the while header is a bound: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// wire-drift (match exhaustiveness; value drift is cross-file and
+// covered by the engine's synthetic-workspace test)
+// -----------------------------------------------------------------
+
+#[test]
+fn wire_match_fires_on_partial_opcode_coverage() {
+    let f = fired("serve", include_str!("fixtures/wire_match_fire.rs"));
+    assert_eq!(count_rule(&f, "wire-drift"), 1, "findings: {f:?}");
+}
+
+#[test]
+fn wire_match_passes_on_full_coverage() {
+    let f = fired("serve", include_str!("fixtures/wire_match_pass.rs"));
+    assert!(f.is_empty(), "expected clean, got: {f:?}");
+}
+
+// -----------------------------------------------------------------
+// workspace rules honor the suppression machinery
+// -----------------------------------------------------------------
+
+#[test]
+fn workspace_rule_findings_are_suppressible_with_reason() {
+    let src = "pub fn dial(addr: &str) -> std::net::TcpStream {\n    // hmh-lint: allow(unbounded-net-loop) — caller enforces a wall-clock deadline\n    loop {\n        if let Ok(conn) = std::net::TcpStream::connect(addr) {\n            return conn;\n        }\n    }\n}\n";
+    let f = fired("serve", src);
+    assert!(f.is_empty(), "reasoned suppression silences the finding: {f:?}");
 }

@@ -33,8 +33,51 @@ fn workspace_is_lint_clean() {
     );
     // Guard against a silently hollow scan: all workspace crates, with
     // the full src trees, must actually have been visited.
-    assert!(report.crates_scanned >= 10, "only {} crates scanned", report.crates_scanned);
-    assert!(report.files_scanned >= 60, "only {} files scanned", report.files_scanned);
+    assert!(report.crates_scanned >= 16, "only {} crates scanned", report.crates_scanned);
+    assert!(report.files_scanned >= 100, "only {} files scanned", report.files_scanned);
+}
+
+#[test]
+fn every_workspace_crate_is_discovered_and_declared() {
+    // The scan is only exhaustive if discovery sees every crate; the
+    // `[workspace] crates` list in Lint.toml is only honest if it names
+    // exactly what discovery sees (the `scopes` subcommand's contract,
+    // held here as a test so CI fails before the CLI step even runs).
+    let root = workspace_root();
+    let discovered = hmh_lint::discovered_crate_names(&root).expect("discovery succeeds");
+    for krate in [
+        "bench", "cli", "cnf", "core", "hash", "hll", "hyperminhash", "ingest", "lint", "math",
+        "minhash", "replica", "route", "serve", "simulate", "store", "workloads",
+    ] {
+        assert!(discovered.iter().any(|c| c == krate), "crate `{krate}` not discovered");
+    }
+    let config = load_config(&root).expect("Lint.toml parses");
+    let declared = config.get_list("workspace.crates").expect("[workspace] crates is configured");
+    let mut declared: Vec<&str> = declared.iter().map(String::as_str).collect();
+    let mut found: Vec<&str> = discovered.iter().map(String::as_str).collect();
+    declared.sort_unstable();
+    found.sort_unstable();
+    assert_eq!(declared, found, "Lint.toml [workspace] crates drifted from the tree");
+}
+
+#[test]
+fn committed_baseline_matches_the_current_findings() {
+    // The ratchet contract, held in-process: the committed baseline must
+    // parse, and diffing it against a fresh scan must be clean in both
+    // directions (no unratcheted findings, no stale entries).
+    let root = workspace_root();
+    let config = load_config(&root).expect("Lint.toml parses");
+    let report = check_workspace(&root, &config).expect("scan succeeds");
+    let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let baseline = hmh_lint::baseline::parse_baseline(&text).expect("baseline parses");
+    let diff = hmh_lint::baseline::diff(&report.diagnostics, &baseline);
+    assert!(
+        diff.is_clean(),
+        "ratchet drifted — new: {:?}, stale: {:?}",
+        diff.new,
+        diff.stale
+    );
 }
 
 #[test]
