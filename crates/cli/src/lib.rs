@@ -83,10 +83,12 @@ commands:
           --peer names another replica; the daemon then runs periodic
           anti-entropy (digest exchange + lossless merge pull) against
           its peers and reports per-peer health
-  client  ADDR[,ADDR...] OP [ARG...]
+  client  ADDR[,ADDR...] [--budget-ms B] OP [ARG...]
           talk to a running daemon; several comma-separated addresses
           form an ordered failover list (BUSY, timeouts and refusals
-          rotate to the next replica). OP is one of
+          rotate to the next replica). --budget-ms stamps a deadline
+          budget on the request: servers refuse it typed (EXPIRED)
+          instead of serving it late. OP is one of
             put NAME FILE / merge NAME FILE / get NAME OUT
             batch NAME FILE [-p P] [-q Q] [-r R] [--seed S] [--alg A]
                               ingest lines of FILE into NAME server-side
@@ -102,6 +104,23 @@ commands:
                               move sketches from ring file OLD to ring
                               file NEW (copy, verify, release); safe to
                               re-run after a crash or SIGKILL
+  loadgen OP ADDR [flags]     seeded load generator for a daemon or a
+          router; OP is one of
+            run ADDR [--seed S] [--connections N] [--duty-ms D]
+                     [--rate OPS_PER_SEC] [--budget-ms B] [--keys K]
+                     [--mix put=20,card=70,jaccard=9,list=1]
+                              one load phase: closed loop, or an
+                              open-loop schedule when --rate is set;
+                              prints goodput, p50/p99 and the outcome
+                              taxonomy (ok/busy/expired/...)
+            sweep ADDR [--seed S] [--connections N] [--duty-ms D]
+                       [--budget-ms B] [--keys K] [--band F]
+                       [--json FILE]
+                              closed-loop peak, then 1x/2x/4x offered
+                              overload; fails unless goodput at 4x
+                              stays >= F of peak (default 0.7) with
+                              typed rejections; --json writes the
+                              BENCH_serve.json artifact
 ";
 
 /// Run the CLI with pre-split arguments (no program name), writing results
@@ -122,6 +141,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "serve" => cmd_serve(rest, out),
         "client" => cmd_client(rest, out),
         "route" => cmd_route(rest, out),
+        "loadgen" => cmd_loadgen(rest, out),
         "--help" | "-h" | "help" => {
             write_out(out, USAGE)?;
             Ok(())
@@ -604,6 +624,11 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             interval: sync_interval,
             jitter_seed: u64::from(handle.addr().port())
                 ^ (u64::from(std::process::id()) << 16),
+            // Anti-entropy is repair traffic: give it a shared retry
+            // budget so its rounds yield (visible as HEALTH
+            // retry_budget_exhausted) instead of competing with
+            // client traffic when peers are struggling.
+            retry_budget: Some(std::sync::Arc::new(hmh_serve::RetryBudget::default())),
             ..hmh_replica::ReplicaOptions::default()
         };
         Some(
@@ -638,7 +663,32 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let [addr_list, op, rest @ ..] = args else {
+    // `--budget-ms B` may appear between the address and the operation;
+    // strip it before positional matching.
+    let mut budget: Option<std::time::Duration> = None;
+    let mut positional: Vec<String> = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--budget-ms" {
+            i += 1;
+            let ms: u64 = args
+                .get(i)
+                .ok_or_else(|| CliError::usage("--budget-ms needs a value"))?
+                .parse()
+                .map_err(|e| CliError::usage(format!("--budget-ms: {e}")))?;
+            if ms == 0 || ms > u64::from(hmh_serve::MAX_BUDGET_MS) {
+                return Err(CliError::usage(format!(
+                    "--budget-ms must be in 1..={}",
+                    hmh_serve::MAX_BUDGET_MS
+                )));
+            }
+            budget = Some(std::time::Duration::from_millis(ms));
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let [addr_list, op, rest @ ..] = positional.as_slice() else {
         return Err(CliError::usage("client needs ADDR and an operation\n(see `hmh help`)"));
     };
     // One address talks to one daemon; a comma-separated list is an
@@ -652,7 +702,12 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::usage("client needs at least one address"));
     }
     let addr = addrs[0];
-    let mut client = hmh_serve::FailoverClient::connect(&addrs);
+    let attempts = u32::try_from(addrs.len()).unwrap_or(u32::MAX).saturating_add(1);
+    let mut client = hmh_serve::FailoverClient::with_options(
+        &addrs,
+        hmh_serve::ClientOptions { op_budget: budget, ..hmh_serve::ClientOptions::default() },
+        attempts,
+    );
     let fail = |op: &str, e: hmh_serve::ClientError| CliError::runtime(format!("{op}: {e}"));
     match (op.as_str(), rest) {
         ("put", [name, file]) => {
@@ -714,7 +769,8 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 format!(
                     "read_only: {}\nworkers: {}\nqueue: {}/{}\nactive: {}\nshed: {}\nserved: {}\n\
                      sketches: {}\nstore_clean: {}\nquarantined: {}\ntruncated_tail: {}\n\
-                     replication_rounds: {}\nroute_epoch: {}\nroute_handoffs: {}\npeers: {}\n",
+                     replication_rounds: {}\nroute_epoch: {}\nroute_handoffs: {}\n\
+                     expired: {}\nretry_budget_exhausted: {}\nbreaker_open: {}\npeers: {}\n",
                     h.read_only,
                     h.workers,
                     h.queue_depth,
@@ -729,6 +785,9 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     h.rounds,
                     h.route_epoch,
                     h.route_handoffs,
+                    h.expired,
+                    h.retry_exhausted,
+                    h.breaker_open,
                     h.peers.len(),
                 ),
             )?;
@@ -852,6 +911,198 @@ fn cmd_route(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         (op, _) => Err(CliError::usage(format!(
             "bad route operation {op:?} (or wrong arguments)\n(see `hmh help`)"
+        ))),
+    }
+}
+
+/// Parse the flags shared by `loadgen run` and `loadgen sweep` into a
+/// base [`hmh_loadgen::LoadOptions`], plus the flags only one of them
+/// understands (returned raw for the caller to interpret).
+struct LoadgenFlags {
+    base: hmh_loadgen::LoadOptions,
+    rate: Option<f64>,
+    band: f64,
+    json: Option<String>,
+}
+
+fn parse_loadgen_flags(args: &[String]) -> Result<LoadgenFlags, CliError> {
+    let mut flags = LoadgenFlags {
+        base: hmh_loadgen::LoadOptions::default(),
+        rate: None,
+        band: 0.7,
+        json: None,
+    };
+    let need = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i).cloned().ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                flags.base.seed = need(args, i, "--seed")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--seed: {e}")))?;
+            }
+            "--connections" => {
+                i += 1;
+                flags.base.connections = need(args, i, "--connections")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--connections: {e}")))?;
+            }
+            "--duty-ms" => {
+                i += 1;
+                let ms: u64 = need(args, i, "--duty-ms")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--duty-ms: {e}")))?;
+                flags.base.duty = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--keys" => {
+                i += 1;
+                flags.base.keys = need(args, i, "--keys")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--keys: {e}")))?;
+            }
+            "--budget-ms" => {
+                i += 1;
+                let ms: u64 = need(args, i, "--budget-ms")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--budget-ms: {e}")))?;
+                flags.base.budget = Some(std::time::Duration::from_millis(ms.max(1)));
+            }
+            "--rate" => {
+                i += 1;
+                flags.rate = Some(
+                    need(args, i, "--rate")?
+                        .parse()
+                        .map_err(|e| CliError::usage(format!("--rate: {e}")))?,
+                );
+            }
+            "--band" => {
+                i += 1;
+                flags.band = need(args, i, "--band")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--band: {e}")))?;
+            }
+            "--json" => {
+                i += 1;
+                flags.json = Some(need(args, i, "--json")?);
+            }
+            "--mix" => {
+                i += 1;
+                flags.base.mix = parse_mix(&need(args, i, "--mix")?)?;
+            }
+            other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+/// Parse `put=20,card=70,jaccard=9,list=1`; omitted ops get weight 0.
+fn parse_mix(spec: &str) -> Result<hmh_loadgen::Mix, CliError> {
+    let mut mix = hmh_loadgen::Mix { put: 0, card: 0, jaccard: 0, list: 0 };
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (op, weight) = part
+            .split_once('=')
+            .ok_or_else(|| CliError::usage(format!("--mix entry {part:?} is not OP=WEIGHT")))?;
+        let weight: u32 =
+            weight.parse().map_err(|e| CliError::usage(format!("--mix {op}: {e}")))?;
+        match op {
+            "put" => mix.put = weight,
+            "card" => mix.card = weight,
+            "jaccard" => mix.jaccard = weight,
+            "list" => mix.list = weight,
+            other => return Err(CliError::usage(format!("--mix knows no op {other:?}"))),
+        }
+    }
+    Ok(mix)
+}
+
+fn report_lines(tag: &str, r: &hmh_loadgen::Report) -> String {
+    format!(
+        "{tag}: {:.1} ops/sec goodput, p50 {}us, p99 {}us\n\
+         {tag} outcomes: {} attempted, {} ok, {} busy, {} expired, \
+         {} retry_exhausted, {} unavailable, {} typed_other, {} transport\n",
+        r.goodput(),
+        r.p50_us(),
+        r.p99_us(),
+        r.attempted,
+        r.ok,
+        r.busy,
+        r.expired,
+        r.retry_exhausted,
+        r.unavailable,
+        r.typed_other,
+        r.transport,
+    )
+}
+
+fn cmd_loadgen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [op, addr, rest @ ..] = args else {
+        return Err(CliError::usage("loadgen needs an operation and ADDR\n(see `hmh help`)"));
+    };
+    let addr = resolve_addr(addr)?;
+    let flags = parse_loadgen_flags(rest)?;
+    match op.as_str() {
+        "run" => {
+            if flags.json.is_some() || flags.band != 0.7 {
+                return Err(CliError::usage("--json/--band apply to `loadgen sweep` only"));
+            }
+            let mut opts = flags.base;
+            if let Some(rate) = flags.rate {
+                if rate <= 0.0 {
+                    return Err(CliError::usage("--rate must be positive"));
+                }
+                opts.pacing = hmh_loadgen::Pacing::Open { ops_per_sec: rate };
+            }
+            let report =
+                hmh_loadgen::run(addr, &opts).map_err(|e| CliError::runtime(format!("run: {e}")))?;
+            write_out(out, report_lines("phase", &report))
+        }
+        "sweep" => {
+            if flags.rate.is_some() {
+                return Err(CliError::usage("--rate applies to `loadgen run` only"));
+            }
+            let opts = hmh_loadgen::SweepOptions {
+                base: flags.base,
+                ..hmh_loadgen::SweepOptions::default()
+            };
+            let sweep = hmh_loadgen::sweep(addr, &opts)
+                .map_err(|e| CliError::runtime(format!("sweep: {e}")))?;
+            write_out(out, report_lines("peak", &sweep.peak))?;
+            for row in &sweep.rows {
+                let ratio = row.report.goodput() / sweep.peak_goodput().max(1e-9);
+                write_out(
+                    out,
+                    format!(
+                        "{}x offered ({:.1} ops/sec over {} connections): {:.1}% of peak\n",
+                        row.multiplier,
+                        row.offered_ops_per_sec,
+                        row.connections,
+                        ratio * 100.0
+                    ),
+                )?;
+                write_out(out, report_lines(&format!("{}x", row.multiplier), &row.report))?;
+            }
+            if let Some(path) = &flags.json {
+                hmh_store::atomic_write_file(Path::new(path), sweep.to_json().as_bytes())
+                    .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+                write_out(out, format!("wrote {path}\n"))?;
+            }
+            hmh_loadgen::degradation_ok(&sweep, flags.band)
+                .map_err(|why| CliError::runtime(format!("degradation contract failed: {why}")))?;
+            write_out(
+                out,
+                format!(
+                    "degradation contract holds: >= {:.0}% of peak goodput under {}x overload\n",
+                    flags.band * 100.0,
+                    sweep.rows.last().map_or(0, |r| r.multiplier)
+                ),
+            )
+        }
+        other => Err(CliError::usage(format!(
+            "bad loadgen operation {other:?} (or wrong arguments)\n(see `hmh help`)"
         ))),
     }
 }

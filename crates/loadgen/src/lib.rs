@@ -1,0 +1,42 @@
+//! Seeded load generation and the overload sweep for the serving tier.
+//!
+//! The paper's setting is a service answering set-similarity queries
+//! under heavy traffic; this crate is the harness that prices that
+//! claim for the implementation. It drives a live daemon or routed
+//! cluster over the real wire protocol with a deterministic, seeded
+//! operation stream and reports *goodput* — successful operations per
+//! second — alongside latency percentiles and a full taxonomy of how
+//! the non-successful operations failed.
+//!
+//! Two pacing disciplines:
+//!
+//! * **Closed loop** ([`Pacing::Closed`]): each connection issues its
+//!   next operation the moment the previous one completes. Offered
+//!   load self-limits to the service's capacity; this is how peak
+//!   throughput is measured.
+//! * **Open loop** ([`Pacing::Open`]): operations are issued on a
+//!   fixed schedule regardless of completions (workers that fall
+//!   behind issue back-to-back and latency is measured from the
+//!   *scheduled* start, so queueing delay is visible, not hidden).
+//!   This is how overload is applied: the schedule does not slow down
+//!   just because the server did.
+//!
+//! The overload sweep ([`sweep`]) measures closed-loop peak, then
+//! applies open-loop offered load at increasing multiples of that
+//! peak and checks the graceful-degradation contract
+//! ([`degradation_ok`]): goodput stays within a band of peak, every
+//! rejection is typed (BUSY / EXPIRED / retry-budget / unavailable —
+//! never a hang, rarely a reset), and every phase finishes inside its
+//! wall-clock bound. Results serialize to `BENCH_serve.json`
+//! ([`Sweep::to_json`]), the committed perf-trajectory artifact.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod report;
+mod run;
+mod sweep;
+
+pub use report::{Outcome, Report};
+pub use run::{run, LoadOptions, LoadgenError, Mix, Pacing};
+pub use sweep::{degradation_ok, sweep, Sweep, SweepOptions, SweepRow};

@@ -36,7 +36,8 @@ use std::thread;
 use std::time::Duration;
 
 use hmh_serve::{
-    Client, ClientError, ClientOptions, ReplicationStatus, MAX_DIGEST_ENTRIES, MAX_SYNC_NAMES,
+    Client, ClientError, ClientOptions, ReplicationStatus, RetryBudget, MAX_DIGEST_ENTRIES,
+    MAX_SYNC_NAMES,
 };
 use hmh_store::RetryPolicy;
 
@@ -62,6 +63,13 @@ pub struct ReplicaOptions {
     pub client: ClientOptions,
     /// Ceiling in rounds on the down-peer attempt backoff.
     pub backoff_cap: u64,
+    /// Shared retry budget to draw on at *low priority*: when set, each
+    /// peer sync must buy a token via [`RetryBudget::try_spend_low`] —
+    /// which only succeeds while the bucket stays at least half full —
+    /// so repair traffic yields to foreground load instead of competing
+    /// with it. Skipped syncs are recorded as yields on the daemon's
+    /// [`ReplicationStatus`] and surface as HEALTH `retry_exhausted`.
+    pub retry_budget: Option<Arc<RetryBudget>>,
 }
 
 impl Default for ReplicaOptions {
@@ -71,6 +79,7 @@ impl Default for ReplicaOptions {
             jitter_seed: 0x414e_5445_4e54_5259, // "ANTENTRY"
             client: ClientOptions::default(),
             backoff_cap: crate::peer::BACKOFF_CAP_ROUNDS,
+            retry_budget: None,
         }
     }
 }
@@ -183,8 +192,27 @@ fn engine_loop(
             if !tracker.should_attempt(round) || stop.load(Ordering::SeqCst) {
                 continue;
             }
+            // Background repair yields to foreground load: a sync only
+            // runs while the shared retry budget is comfortably full.
+            // A skipped peer is neither success nor failure — its
+            // ladder state is untouched and the next round retries.
+            if let Some(budget) = &opts.retry_budget {
+                if !budget.try_spend_low() {
+                    status.record_yield();
+                    continue;
+                }
+            }
             match sync_with_peer(local, *addr, opts) {
-                Ok(mismatches) => tracker.record_success(round, mismatches),
+                Ok(mismatches) => {
+                    // Re-deposit the toll: a healthy repair loop is
+                    // net-zero on the budget, so only *failing* syncs
+                    // (or foreground retry pressure) drain it toward
+                    // the yield threshold.
+                    if let Some(budget) = &opts.retry_budget {
+                        budget.record_success();
+                    }
+                    tracker.record_success(round, mismatches);
+                }
                 Err(_) => tracker.record_failure(round),
             }
         }

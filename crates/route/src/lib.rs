@@ -6,7 +6,7 @@
 //! consistent-hash [`ring::Ring`] of replica groups, a scatter-gather
 //! [`router`] speaks the ordinary `HMS1` protocol over the whole
 //! cluster, and ring changes are executed by a two-phase
-//! [`rebalance`] (copy, verify by domination, release) whose every
+//! [`rebalance()`] (copy, verify by domination, release) whose every
 //! step is idempotent because the sketch union is a per-register max:
 //! a crash mid-move leaves the sketch owned by at least one group, and
 //! re-running the move converges instead of corrupting.

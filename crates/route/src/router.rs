@@ -33,14 +33,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hmh_replica::PeerTracker;
 use hmh_serve::proto::{
-    decode_request, encode_response, read_frame, write_frame, ErrCode, FrameError, Health, Request,
-    Response, MAX_FRAME_LEN, MAX_LIST_NAMES,
+    decode_request_budget, encode_response, read_frame, write_frame, ErrCode, FrameError, Health,
+    Request, Response, MAX_FRAME_LEN, MAX_LIST_NAMES,
 };
-use hmh_serve::{Client, ClientError, ClientOptions, FailoverClient};
+use hmh_serve::{Client, ClientError, ClientOptions, FailoverClient, RetryBudget};
 
 use crate::ring::Ring;
 
@@ -155,18 +155,29 @@ impl Liveness {
 struct Shared {
     ring: Ring,
     liveness: Liveness,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections stamped with their accept time, so dequeue
+    /// can expire requests whose deadline died waiting for a worker.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     wake: Condvar,
     shutdown: AtomicBool,
     shed: AtomicU64,
     served: AtomicU64,
+    /// Requests answered EXPIRED by the router itself (dequeue-time) or
+    /// relayed from a shard's typed EXPIRED.
+    expired: AtomicU64,
     active: AtomicU32,
     handoffs: Arc<AtomicU64>,
+    /// Operations refused because a whole group's breakers were open;
+    /// shared with every worker's `FailoverClient`s.
+    breaker_refusals: Arc<AtomicU64>,
+    /// The router-wide retry budget every shard client draws from (also
+    /// present in `opts.shard.budget`; kept here for HEALTH reporting).
+    budget: Arc<RetryBudget>,
     opts: RouteOptions,
 }
 
 impl Shared {
-    fn queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+    fn queue(&self) -> MutexGuard<'_, VecDeque<(TcpStream, Instant)>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -228,6 +239,16 @@ pub fn route(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    // One retry budget for the whole router: every worker's shard
+    // clients (and DELETE's per-replica clients) share it, so N workers
+    // facing one sick group spend one bounded pool of retries.
+    let mut opts = opts;
+    let budget = opts
+        .shard
+        .budget
+        .get_or_insert_with(|| Arc::new(RetryBudget::default()))
+        .clone();
+
     let liveness = Liveness::new(&ring, opts.backoff_cap);
     let shared = Arc::new(Shared {
         ring,
@@ -237,8 +258,11 @@ pub fn route(
         shutdown: AtomicBool::new(false),
         shed: AtomicU64::new(0),
         served: AtomicU64::new(0),
+        expired: AtomicU64::new(0),
         active: AtomicU32::new(0),
         handoffs: Arc::new(AtomicU64::new(0)),
+        breaker_refusals: Arc::new(AtomicU64::new(0)),
+        budget,
         opts: opts.clone(),
     });
 
@@ -282,16 +306,23 @@ fn enqueue(shared: &Shared, stream: TcpStream) {
         let _ = write_frame(&mut stream, &encode_response(&Response::Busy));
         return;
     }
-    queue.push_back(stream);
+    queue.push_back((stream, Instant::now()));
     drop(queue);
     shared.wake.notify_one();
 }
 
 /// Per-worker shard connections: one failover client per group, built
 /// once and reused across requests (reconnection after failures is the
-/// client's own job).
+/// client's own job). Each group's client layers a per-replica circuit
+/// breaker and draws rotations from the router-wide retry budget
+/// (shared via the options); breaker-open refusals land on the shared
+/// counter for HEALTH.
 struct ShardClients {
     groups: Vec<FailoverClient>,
+    /// The caller deadline currently being propagated (set per request
+    /// by `handle_connection`, read wherever a fresh shard client is
+    /// built mid-request).
+    deadline: Option<Instant>,
 }
 
 impl ShardClients {
@@ -313,9 +344,18 @@ impl ShardClients {
                     shared.opts.shard.clone(),
                     attempts(g.replicas.len()),
                 )
+                .with_breaker_counter(Arc::clone(&shared.breaker_refusals))
             })
             .collect();
-        Self { groups }
+        Self { groups, deadline: None }
+    }
+
+    /// Propagate (or clear) the caller's deadline to every group.
+    fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        for group in &mut self.groups {
+            group.set_deadline(deadline);
+        }
     }
 }
 
@@ -338,14 +378,19 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
-        let Some(stream) = stream else { return };
+        let Some((stream, queued_at)) = stream else { return };
         shared.active.fetch_add(1, Ordering::SeqCst);
-        handle_connection(shared, &mut shards, stream);
+        handle_connection(shared, &mut shards, stream, queued_at);
         shared.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn handle_connection(shared: &Shared, shards: &mut ShardClients, mut stream: TcpStream) {
+fn handle_connection(
+    shared: &Shared,
+    shards: &mut ShardClients,
+    mut stream: TcpStream,
+    queued_at: Instant,
+) {
     if stream.set_read_timeout(Some(shared.opts.read_timeout)).is_err()
         || stream.set_write_timeout(Some(shared.opts.write_timeout)).is_err()
     {
@@ -353,6 +398,7 @@ fn handle_connection(shared: &Shared, shards: &mut ShardClients, mut stream: Tcp
     }
     let _ = stream.set_nodelay(true);
 
+    let mut first_request = true;
     loop {
         let body = match read_frame(&mut stream, shared.opts.max_frame) {
             Ok(Some(body)) => body,
@@ -368,8 +414,27 @@ fn handle_connection(shared: &Shared, shards: &mut ShardClients, mut stream: Tcp
         };
 
         shared.liveness.round.fetch_add(1, Ordering::Relaxed);
-        let (resp, close) = match decode_request(&body) {
-            Ok(request) => handle_request(shared, shards, request),
+        let (resp, close) = match decode_request_budget(&body) {
+            Ok((request, budget_ms)) => {
+                // Deadline propagation. The budget starts burning at
+                // accept for a connection's first request (queue wait is
+                // exactly the dead-work window); later keep-alive frames
+                // restart it at frame receipt, since inter-request time
+                // is client think-time, not queueing.
+                let burn_from = if first_request { queued_at } else { Instant::now() };
+                first_request = false;
+                let total = Duration::from_millis(u64::from(budget_ms));
+                if budget_ms > 0 && burn_from.elapsed() >= total {
+                    shared.expired.fetch_add(1, Ordering::Relaxed);
+                    (Response::Expired, false)
+                } else {
+                    // Every scatter-gather leg below stamps the caller's
+                    // *remaining* time, so fan-out never outlives them.
+                    let deadline = (budget_ms > 0).then(|| burn_from + total);
+                    shards.set_deadline(deadline);
+                    handle_request(shared, shards, request)
+                }
+            }
             Err(e) => (Response::Err { code: e.code(), message: e.to_string() }, true),
         };
         if write_frame(&mut stream, &encode_response(&resp)).is_err() {
@@ -485,6 +550,26 @@ fn respond(shared: &Shared, group: usize, result: Result<Response, ClientError>)
             shared.liveness.record(group, false);
             Response::Busy
         }
+        // The shard (or the inner client, locally) judged the caller's
+        // deadline spent. The group is alive — an EXPIRED frame is an
+        // answer — and the refusal relays typed to the caller.
+        Err(ClientError::Expired) => {
+            shared.liveness.record(group, true);
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+            Response::Expired
+        }
+        // Bounded refusals from the resilience layer: the group already
+        // failed at least one attempt (budget) or every breaker is open.
+        // Both degrade typed; the budget denial was already counted by
+        // the budget itself, the breaker refusal by the shared counter.
+        Err(e @ ClientError::RetryBudgetExhausted) => {
+            shared.liveness.record(group, false);
+            unavailable(shared, group, &e.to_string())
+        }
+        Err(e @ ClientError::BreakerOpen { .. }) => {
+            shared.liveness.record(group, false);
+            unavailable(shared, group, &e.to_string())
+        }
         Err(ClientError::Server { code, message }) => {
             shared.liveness.record(group, true);
             Response::Err { code, message }
@@ -529,6 +614,10 @@ fn jaccard(shared: &Shared, shards: &mut ShardClients, a: &str, b: &str) -> Resp
     }
 }
 
+// The Err variant is a ready-to-send Response (Health grew past the
+// clippy size bar); it is written to the socket immediately, never
+// propagated, so boxing would only add an allocation on the error path.
+#[allow(clippy::result_large_err)]
 fn fetch_decoded(
     shared: &Shared,
     shards: &mut ShardClients,
@@ -562,7 +651,12 @@ fn scatter_list(shared: &Shared, shards: &mut ShardClients) -> Response {
                 shared.liveness.record(group, true);
                 union.extend(names);
             }
-            Err(e @ (ClientError::AllReplicasDown { .. } | ClientError::Io(_))) => {
+            Err(
+                e @ (ClientError::AllReplicasDown { .. }
+                | ClientError::Io(_)
+                | ClientError::BreakerOpen { .. }
+                | ClientError::RetryBudgetExhausted),
+            ) => {
                 shared.liveness.record(group, false);
                 return unavailable(shared, group, &format!("{e}; use LIST_PAGE"));
             }
@@ -613,7 +707,11 @@ fn scatter_list_page(shared: &Shared, shards: &mut ShardClients, after: &str) ->
                 union.extend(names);
             }
             Err(
-                ClientError::AllReplicasDown { .. } | ClientError::Io(_) | ClientError::Busy,
+                ClientError::AllReplicasDown { .. }
+                | ClientError::Io(_)
+                | ClientError::Busy
+                | ClientError::BreakerOpen { .. }
+                | ClientError::RetryBudgetExhausted,
             ) => {
                 shared.liveness.record(group, false);
                 partial = true;
@@ -633,7 +731,7 @@ fn scatter_list_page(shared: &Shared, shards: &mut ShardClients, after: &str) ->
 /// NOT_FOUND from a replica is fine (it never had it, or another pass
 /// already released it); the op succeeds if at least one replica
 /// deleted and none failed for transport reasons.
-fn delete(shared: &Shared, _shards: &mut ShardClients, name: &str) -> Response {
+fn delete(shared: &Shared, shards: &mut ShardClients, name: &str) -> Response {
     let group = shared.ring.owner_index(name);
     if !shared.liveness.should_attempt(group) {
         return unavailable(shared, group, "group is in down-backoff");
@@ -642,6 +740,7 @@ fn delete(shared: &Shared, _shards: &mut ShardClients, name: &str) -> Response {
     let mut missing = 0u64;
     for &addr in &shared.ring.groups()[group].replicas {
         let mut client = Client::with_options(addr, shared.opts.shard.clone());
+        client.set_deadline(shards.deadline);
         match client.delete(name) {
             Ok(()) => deleted += 1,
             Err(ClientError::NotFound(_)) => missing += 1,
@@ -673,6 +772,9 @@ fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
     let mut sketches = 0u64;
     let mut store_clean = true;
     let mut read_only = false;
+    let mut expired_sum = 0u64;
+    let mut retry_sum = 0u64;
+    let mut breaker_sum = 0u64;
     for group in 0..shared.ring.group_count() {
         if !shared.liveness.should_attempt(group) {
             store_clean = false;
@@ -684,6 +786,9 @@ fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
                 sketches = sketches.saturating_add(h.sketches);
                 store_clean &= h.store_clean;
                 read_only |= h.read_only;
+                expired_sum = expired_sum.saturating_add(h.expired);
+                retry_sum = retry_sum.saturating_add(h.retry_exhausted);
+                breaker_sum = breaker_sum.saturating_add(h.breaker_open);
             }
             Err(_) => {
                 shared.liveness.record(group, false);
@@ -709,6 +814,9 @@ fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
         rounds: 0,
         route_epoch: shared.ring.epoch(),
         route_handoffs: shared.handoffs.load(Ordering::Relaxed),
+        expired: shared.expired.load(Ordering::Relaxed).saturating_add(expired_sum),
+        retry_exhausted: shared.budget.exhausted().saturating_add(retry_sum),
+        breaker_open: shared.breaker_refusals.load(Ordering::Relaxed).saturating_add(breaker_sum),
         peers,
     }
 }

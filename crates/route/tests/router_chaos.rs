@@ -71,6 +71,7 @@ fn shard_opts() -> ClientOptions {
         read_timeout: Duration::from_millis(500),
         write_timeout: Duration::from_millis(500),
         retry: RetryPolicy::none(),
+        ..ClientOptions::default()
     }
 }
 
@@ -91,6 +92,7 @@ fn client(addr: SocketAddr) -> Client {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             retry: RetryPolicy::none(),
+            ..ClientOptions::default()
         },
     )
 }
@@ -205,7 +207,7 @@ fn routed_ops_answer_what_the_owning_daemon_would() {
     assert!(matches!(via.delete(&na), Err(ClientError::NotFound(_))));
 
     // Anti-entropy ops are refused, typed.
-    match via.sync(&[nb.clone()]) {
+    match via.sync(std::slice::from_ref(&nb)) {
         Err(ClientError::Server { code: ErrCode::UnknownOp, message }) => {
             assert!(message.contains("anti-entropy"), "unhelpful refusal: {message}");
         }

@@ -14,7 +14,9 @@
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hmh_core::format::{self, FormatError};
 use hmh_core::{HmhParams, HyperMinHash};
@@ -22,9 +24,161 @@ use hmh_hash::RandomOracle;
 use hmh_store::RetryPolicy;
 
 use crate::proto::{
-    decode_response, encode_request, read_frame, write_frame, DigestEntry, ErrCode, FrameError,
-    Health, Request, Response, SyncEntry, MAX_BATCH_ITEMS, MAX_FRAME_LEN, MAX_ITEM_LEN,
+    decode_response, encode_request_budget, read_frame, write_frame, DigestEntry, ErrCode,
+    FrameError, Health, Request, Response, SyncEntry, MAX_BATCH_ITEMS, MAX_BUDGET_MS,
+    MAX_FRAME_LEN, MAX_ITEM_LEN,
 };
+
+/// A shared token-bucket retry budget (Finagle-style): retries across a
+/// whole process are capped to a fraction of its successes, so N
+/// concurrent callers facing a sick backend spend one bounded pool of
+/// probes instead of N independent retry schedules amplifying the
+/// outage into a retry storm.
+///
+/// The bucket holds integer *millitokens*. Every success deposits
+/// `deposit` millitokens (clamped to the cap); every retry costs 1000.
+/// The default — a 10-token cap, 100 millitokens per success — allows
+/// sustained retries at 10% of the success rate plus a 10-retry burst
+/// from a full bucket. The bucket starts full so cold starts against a
+/// briefly-unavailable server still get their first probes.
+#[derive(Debug)]
+pub struct RetryBudget {
+    millitokens: AtomicI64,
+    cap: i64,
+    deposit: i64,
+    exhausted: AtomicU64,
+}
+
+/// Millitokens one retry costs.
+const RETRY_COST: i64 = 1000;
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        Self::new(10, 100)
+    }
+}
+
+impl RetryBudget {
+    /// Budget with a cap of `cap_tokens` whole tokens, depositing
+    /// `deposit_millitokens` per recorded success (1000 = one full
+    /// retry earned per success). The bucket starts full.
+    pub fn new(cap_tokens: u32, deposit_millitokens: u32) -> Self {
+        let cap = i64::from(cap_tokens.max(1)) * RETRY_COST;
+        Self {
+            millitokens: AtomicI64::new(cap),
+            cap,
+            deposit: i64::from(deposit_millitokens),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// Deposit for one observed success, clamped to the cap.
+    pub fn record_success(&self) {
+        let _ = self.millitokens.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some((v + self.deposit).min(self.cap))
+        });
+    }
+
+    /// Spend one retry token. Returns false — and counts the denial —
+    /// when the bucket is empty; the caller must fail typed, not retry.
+    pub fn try_spend(&self) -> bool {
+        let spent = self
+            .millitokens
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                (v >= RETRY_COST).then_some(v - RETRY_COST)
+            })
+            .is_ok();
+        if !spent {
+            self.exhausted.fetch_add(1, Ordering::Relaxed);
+        }
+        spent
+    }
+
+    /// Spend a *low-priority* toll: succeeds only while the bucket
+    /// stays at least half full after the spend, and costs one
+    /// `deposit` (not a full retry token) so background traffic that
+    /// also [`RetryBudget::record_success`]es its completed work runs
+    /// net-zero in steady state. Anti-entropy repair uses this: when
+    /// foreground retries drain the bucket below half — or its own
+    /// syncs keep failing and stop re-depositing — repair yields its
+    /// probes instead of competing. Denials are not counted as
+    /// exhaustion; yielding is the designed behavior, and the caller
+    /// records it under its own name.
+    pub fn try_spend_low(&self) -> bool {
+        self.millitokens
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                (v - self.deposit >= self.cap / 2).then_some(v - self.deposit)
+            })
+            .is_ok()
+    }
+
+    /// Denials [`RetryBudget::try_spend`] has issued — the
+    /// `retry_exhausted` HEALTH counter for processes that own a budget.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Current balance in millitokens (observability and tests).
+    pub fn balance_millitokens(&self) -> i64 {
+        self.millitokens.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-replica circuit breaker: after [`BREAKER_OPEN_AFTER`] consecutive
+/// failures the replica is skipped for an exponentially growing,
+/// capped number of operations, then probed again (half-open); one
+/// success closes it. The op counter is supplied by the caller —
+/// [`FailoverClient`] advances it once per logical operation, including
+/// refused ones, so an all-open group keeps aging toward its next probe
+/// and recovery needs no background thread.
+///
+/// This mirrors the replica engine's peer health ladder (suspect after
+/// the same threshold, capped exponential rounds) so one mental model
+/// covers both; it lives here because `hmh-replica` depends on this
+/// crate, not the other way around.
+#[derive(Debug, Clone, Default)]
+pub struct Breaker {
+    consecutive_failures: u32,
+    skip_until: u64,
+}
+
+/// Consecutive failures before the breaker opens.
+pub const BREAKER_OPEN_AFTER: u32 = 3;
+/// Longest skip the exponential backoff can reach, in operations.
+pub const BREAKER_CAP_OPS: u64 = 16;
+
+impl Breaker {
+    /// A closed breaker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when operation number `op` may try this replica.
+    pub fn admits(&self, op: u64) -> bool {
+        op >= self.skip_until
+    }
+
+    /// One successful exchange: the breaker closes fully.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.skip_until = 0;
+    }
+
+    /// One failed exchange during operation `op`.
+    pub fn record_failure(&mut self, op: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= BREAKER_OPEN_AFTER {
+            let exponent = (self.consecutive_failures - BREAKER_OPEN_AFTER).min(32);
+            let skip = 1u64.checked_shl(exponent).unwrap_or(u64::MAX).min(BREAKER_CAP_OPS);
+            self.skip_until = op.saturating_add(skip).saturating_add(1);
+        }
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +192,19 @@ pub struct ClientOptions {
     /// Backoff policy for transient failures (connect errors, deadlines,
     /// resets, and BUSY sheds).
     pub retry: RetryPolicy,
+    /// Per-operation deadline budget. When set, every request is stamped
+    /// with its *remaining* budget on the wire (shrinking across
+    /// retries) so servers can refuse work the caller has already
+    /// abandoned; once it hits zero the call fails locally with
+    /// [`ClientError::Expired`]. `None` sends v1 frames with no
+    /// deadline. An explicit [`Client::set_deadline`] overrides this.
+    pub op_budget: Option<Duration>,
+    /// Shared retry budget. When set, every retry (never the first
+    /// attempt) must buy a token or the call fails typed with
+    /// [`ClientError::RetryBudgetExhausted`]; successes deposit back.
+    /// Clone the `Arc` into every client in the process so they share
+    /// one pool.
+    pub budget: Option<Arc<RetryBudget>>,
 }
 
 impl Default for ClientOptions {
@@ -47,6 +214,8 @@ impl Default for ClientOptions {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             retry: RetryPolicy::default(),
+            op_budget: None,
+            budget: None,
         }
     }
 }
@@ -81,6 +250,24 @@ pub enum ClientError {
     Format(FormatError),
     /// Transport failure (connect, deadline, reset) after retries.
     Io(io::Error),
+    /// The operation's deadline budget ran out: either the server
+    /// answered a typed EXPIRED (it dequeued the request after the
+    /// budget was spent and refused the dead work), or the budget
+    /// expired locally before another attempt could be stamped. Final —
+    /// the caller has already given up on this result by definition.
+    Expired,
+    /// The shared [`RetryBudget`] was empty when a retry wanted a token.
+    /// Final and deliberate: under a retry storm the budget converts
+    /// unbounded amplification into typed, bounded refusal.
+    RetryBudgetExhausted,
+    /// Every replica's circuit breaker was open, so the operation was
+    /// refused without a single dial. Distinct from
+    /// [`ClientError::AllReplicasDown`]: that one spent its attempt
+    /// budget probing; this one refused to probe at all.
+    BreakerOpen {
+        /// Replicas considered (all skipped).
+        replicas: usize,
+    },
     /// A [`FailoverClient`] spent its whole attempt budget without any
     /// replica answering. Carries the budget and one error string per
     /// exhausted attempt (in rotation order) so the caller — a routing
@@ -109,6 +296,13 @@ impl std::fmt::Display for ClientError {
             ClientError::BadReply(detail) => write!(f, "unparseable server reply: {detail}"),
             ClientError::Format(e) => write!(f, "sketch payload: {e}"),
             ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Expired => write!(f, "request deadline budget expired"),
+            ClientError::RetryBudgetExhausted => {
+                write!(f, "shared retry budget exhausted; refusing to amplify")
+            }
+            ClientError::BreakerOpen { replicas } => {
+                write!(f, "circuit breaker open on all {replicas} replicas; refusing to dial")
+            }
             ClientError::AllReplicasDown { attempts, last_errors } => {
                 write!(f, "all replicas down after {attempts} attempts")?;
                 if let Some(last) = last_errors.last() {
@@ -158,12 +352,71 @@ fn is_busy(e: &io::Error) -> bool {
     e.get_ref().is_some_and(|inner| inner.is::<BusyMarker>())
 }
 
+/// Marker carried in a *non-transient* [`io::Error`] when the local
+/// deadline budget hits zero: the retry loop returns it immediately
+/// (no further attempts can beat a deadline that already passed), and
+/// [`Client::request`] maps it to [`ClientError::Expired`].
+#[derive(Debug)]
+struct ExpiredMarker;
+
+impl std::fmt::Display for ExpiredMarker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline budget expired before the attempt")
+    }
+}
+
+impl std::error::Error for ExpiredMarker {}
+
+fn expired_error() -> io::Error {
+    // `Other` is deliberately non-transient per `hmh_store::is_transient`.
+    io::Error::other(ExpiredMarker)
+}
+
+fn is_expired(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<ExpiredMarker>())
+}
+
+/// Marker for a retry-budget denial from the gate, mapped to
+/// [`ClientError::RetryBudgetExhausted`].
+#[derive(Debug)]
+struct BudgetMarker;
+
+impl std::fmt::Display for BudgetMarker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shared retry budget exhausted")
+    }
+}
+
+impl std::error::Error for BudgetMarker {}
+
+fn budget_error() -> io::Error {
+    io::Error::other(BudgetMarker)
+}
+
+fn is_budget_denial(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<BudgetMarker>())
+}
+
+/// Remaining budget to stamp on the wire for `deadline`, or `None` when
+/// it has already passed. Sub-millisecond remainders round *up* to 1 ms:
+/// a 0 on the wire means "no deadline", which an almost-expired request
+/// must never claim.
+fn remaining_budget_ms(deadline: Instant) -> Option<u32> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return None;
+    }
+    let ms = u32::try_from(remaining.as_millis()).unwrap_or(MAX_BUDGET_MS).min(MAX_BUDGET_MS);
+    Some(ms.max(1))
+}
+
 /// A connection to one daemon. Reconnects lazily after any transport
 /// error, so one `Client` value survives server restarts.
 pub struct Client {
     addr: SocketAddr,
     opts: ClientOptions,
     conn: Option<TcpStream>,
+    deadline: Option<Instant>,
 }
 
 impl Client {
@@ -175,7 +428,16 @@ impl Client {
     /// Client with explicit options (tests shrink the deadlines and seed
     /// the retry jitter).
     pub fn with_options(addr: SocketAddr, opts: ClientOptions) -> Self {
-        Self { addr, opts, conn: None }
+        Self { addr, opts, conn: None, deadline: None }
+    }
+
+    /// Pin an absolute deadline for subsequent operations (overriding
+    /// any [`ClientOptions::op_budget`]); `None` clears it. A routing
+    /// tier uses this to propagate one caller's remaining budget across
+    /// every scatter-gather leg it fans out to — each leg stamps the
+    /// *remaining* time, so downstream work never outlives the caller.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
     }
 
     /// Store `sketch` under `name`, replacing any existing sketch.
@@ -408,17 +670,58 @@ impl Client {
     }
 
     /// Send one request, retrying transient transport failures and BUSY
-    /// sheds under the configured backoff policy.
+    /// sheds under the configured backoff policy. When a deadline is
+    /// pinned (or [`ClientOptions::op_budget`] set), every attempt
+    /// stamps its *remaining* budget on the wire and the call expires
+    /// locally once it hits zero; when a shared [`RetryBudget`] is
+    /// configured, each retry (never the first attempt) must buy a
+    /// token.
     fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let body = encode_request(request);
-        // Clone per call: `run` consumes jitter state; cloning keeps each
-        // call's schedule starting from the policy's seed, deterministic
-        // under test.
+        let deadline =
+            self.deadline.or_else(|| self.opts.op_budget.map(|b| Instant::now() + b));
+        let budget = self.opts.budget.clone();
+        // Without a deadline the body is attempt-invariant: encode once.
+        let flat_body = if deadline.is_none() {
+            Some(encode_request_budget(request, 0))
+        } else {
+            None
+        };
+        // Clone per call: `run_gated` consumes jitter state; cloning
+        // keeps each call's schedule starting from the policy's seed,
+        // deterministic under test.
         let mut retry = self.opts.retry.clone();
-        let result = retry.run(|| self.exchange(&body));
+        let result = retry.run_gated(
+            |_attempt| {
+                let body = if let Some(body) = &flat_body {
+                    body.clone()
+                } else {
+                    let d = deadline
+                        .expect("invariant: flat_body is None only when a deadline is set");
+                    let Some(ms) = remaining_budget_ms(d) else {
+                        return Err(expired_error());
+                    };
+                    encode_request_budget(request, ms)
+                };
+                self.exchange(&body)
+            },
+            || match &budget {
+                Some(b) if !b.try_spend() => Err(budget_error()),
+                _ => Ok(()),
+            },
+        );
         match result {
-            Ok(frame) => self.interpret(&frame),
+            Ok(frame) => {
+                // The transport worked and the server answered: that is
+                // the success a retry budget regenerates from, whatever
+                // the answer says about the sketch.
+                if let Some(b) = &budget {
+                    b.record_success();
+                }
+                self.interpret(&frame)
+            }
             Err(e) if is_busy(&e) => Err(ClientError::Busy),
+            Err(e) if is_expired(&e) => Err(ClientError::Expired),
+            Err(e) if is_budget_denial(&e) => Err(ClientError::RetryBudgetExhausted),
             Err(e) => Err(ClientError::Io(e)),
         }
     }
@@ -474,6 +777,9 @@ impl Client {
     fn interpret(&mut self, frame: &[u8]) -> Result<Response, ClientError> {
         match decode_response(frame) {
             Ok(Response::ReadOnly) => Err(ClientError::ReadOnly),
+            // Final, not retried: a deadline that expired server-side
+            // has expired for every future attempt too.
+            Ok(Response::Expired) => Err(ClientError::Expired),
             Ok(Response::Err { code: ErrCode::NotFound, message }) => {
                 Err(ClientError::NotFound(extract_name(&message)))
             }
@@ -541,8 +847,20 @@ fn unexpected(resp: Response, context: &str) -> ClientError {
 /// budget on identical refusals.
 pub struct FailoverClient {
     replicas: Vec<Client>,
+    breakers: Vec<Breaker>,
     current: usize,
     attempts: u32,
+    /// Logical operation counter: the breakers' clock. Advances on every
+    /// operation, including ones refused with an open breaker, so a sick
+    /// group keeps aging toward its next half-open probe.
+    ops: u64,
+    /// Shared retry budget (taken from the options): rotations beyond
+    /// the first attempt must buy a token, so N concurrent callers
+    /// facing one down replica spend one bounded pool, not N budgets.
+    budget: Option<Arc<RetryBudget>>,
+    /// Where to count operations refused because every breaker was open
+    /// (a router aggregates this into its HEALTH `breaker_open` field).
+    breaker_refusals: Option<Arc<AtomicU64>>,
 }
 
 impl FailoverClient {
@@ -560,20 +878,47 @@ impl FailoverClient {
 
     /// Failover client with explicit per-replica options and a per-op
     /// attempt budget (each attempt is one full single-replica call,
-    /// including that replica's own transient-retry backoff).
+    /// including that replica's own transient-retry backoff). A
+    /// [`ClientOptions::budget`] in `opts` is shared: the inner clients
+    /// draw from it for transport retries and the failover loop draws
+    /// from it for rotations.
     ///
     /// # Panics
     /// With an empty address list.
     pub fn with_options(addrs: &[SocketAddr], opts: ClientOptions, attempts: u32) -> Self {
         assert!(!addrs.is_empty(), "failover client needs at least one replica address");
-        let replicas =
+        let budget = opts.budget.clone();
+        let replicas: Vec<Client> =
             addrs.iter().map(|&addr| Client::with_options(addr, opts.clone())).collect();
-        Self { replicas, current: 0, attempts: attempts.max(1) }
+        let breakers = vec![Breaker::new(); replicas.len()];
+        Self { replicas, breakers, current: 0, attempts: attempts.max(1), ops: 0, budget, breaker_refusals: None }
+    }
+
+    /// Count breaker-open refusals into `counter` (shared with the
+    /// owner's health surface).
+    #[must_use]
+    pub fn with_breaker_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.breaker_refusals = Some(counter);
+        self
+    }
+
+    /// Pin (or clear) an absolute deadline on every replica client, so
+    /// whichever replica a failover lands on stamps the same caller's
+    /// remaining budget.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        for replica in &mut self.replicas {
+            replica.set_deadline(deadline);
+        }
     }
 
     /// The replica the next operation will try first.
     pub fn current_addr(&self) -> SocketAddr {
         self.replicas[self.current].addr()
+    }
+
+    /// Replicas whose breaker is currently open (observability).
+    pub fn open_breakers(&self) -> usize {
+        self.breakers.iter().filter(|b| !b.admits(self.ops)).count()
     }
 
     /// Store `sketch` under `name` on whichever replica answers.
@@ -678,22 +1023,62 @@ impl FailoverClient {
     /// typed [`ClientError::AllReplicasDown`] carrying every attempt's
     /// error, so callers distinguish "the whole group is unreachable"
     /// from a single transport failure without string-matching.
+    ///
+    /// Two bounds layer on top of the per-op attempt budget. Each
+    /// replica's circuit breaker must admit the attempt — with every
+    /// breaker open the operation is refused *without one dial* as
+    /// [`ClientError::BreakerOpen`]. And each rotation after the first
+    /// attempt must buy a token from the shared [`RetryBudget`] (when
+    /// configured), so concurrent callers cannot multiply a sick
+    /// replica's cost.
     fn with_failover<T>(
         &mut self,
         mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
+        self.ops += 1;
+        let now = self.ops;
+        let replica_count = self.replicas.len();
         let mut errors = Vec::new();
-        for _ in 0..self.attempts {
-            let replica = &mut self.replicas[self.current];
+        for attempt in 0..self.attempts {
+            // Next replica (in rotation order) whose breaker admits this
+            // operation; all open means bounded refusal, zero dials.
+            let admitted = (0..replica_count)
+                .map(|i| (self.current + i) % replica_count)
+                .find(|&i| self.breakers[i].admits(now));
+            let Some(idx) = admitted else {
+                if let Some(counter) = &self.breaker_refusals {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(ClientError::BreakerOpen { replicas: replica_count });
+            };
+            self.current = idx;
+            if attempt > 0 {
+                if let Some(budget) = &self.budget {
+                    if !budget.try_spend() {
+                        return Err(ClientError::RetryBudgetExhausted);
+                    }
+                }
+            }
+            let replica = &mut self.replicas[idx];
             match op(replica) {
                 // Worth a different replica: this one is unreachable,
                 // overloaded, or refusing writes in degraded mode.
                 Err(e @ (ClientError::Io(_) | ClientError::Busy | ClientError::ReadOnly)) => {
                     errors.push(format!("{}: {e}", replica.addr()));
-                    self.current = (self.current + 1) % self.replicas.len();
+                    self.breakers[idx].record_failure(now);
+                    self.current = (idx + 1) % replica_count;
                 }
+                // A local refusal carries no evidence about this
+                // replica's health; pass it through untouched.
+                Err(e @ ClientError::RetryBudgetExhausted) => return Err(e),
                 // Success, or a final answer every replica would repeat.
-                other => return other,
+                // Either way the replica *answered*: its breaker closes.
+                // (The inner client already deposited into the shared
+                // budget for the successful exchange.)
+                other => {
+                    self.breakers[idx].record_success();
+                    return other;
+                }
             }
         }
         Err(ClientError::AllReplicasDown { attempts: self.attempts, last_errors: errors })
@@ -740,5 +1125,111 @@ mod tests {
         assert!(e.to_string().contains("disk on fire"));
         assert!(ClientError::Busy.to_string().contains("busy"));
         assert!(ClientError::ReadOnly.to_string().contains("read-only"));
+        assert!(ClientError::Expired.to_string().contains("deadline"));
+        assert!(ClientError::RetryBudgetExhausted.to_string().contains("retry budget"));
+        assert!(ClientError::BreakerOpen { replicas: 3 }.to_string().contains("breaker"));
+    }
+
+    #[test]
+    fn retry_budget_starts_full_and_denies_when_drained() {
+        let b = RetryBudget::new(3, 100);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "fourth spend exceeds the 3-token cap");
+        assert_eq!(b.exhausted(), 1);
+        // 10 successes at 100 mt each buy exactly one more retry.
+        for _ in 0..10 {
+            b.record_success();
+        }
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        assert_eq!(b.exhausted(), 2);
+    }
+
+    #[test]
+    fn retry_budget_deposits_clamp_to_the_cap() {
+        let b = RetryBudget::new(2, 1000);
+        for _ in 0..100 {
+            b.record_success();
+        }
+        assert_eq!(b.balance_millitokens(), 2000, "deposits never exceed the cap");
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn low_priority_spends_yield_once_the_bucket_is_half_drained() {
+        let b = RetryBudget::new(4, 1000);
+        // Full bucket: low-priority tolls (one deposit each) spend down
+        // to (not below) half.
+        assert!(b.try_spend_low());
+        assert!(b.try_spend_low());
+        assert!(!b.try_spend_low(), "below half: background traffic yields");
+        assert_eq!(b.exhausted(), 0, "yields are not exhaustion");
+        // Foreground still gets the bottom half.
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        assert_eq!(b.exhausted(), 1);
+    }
+
+    #[test]
+    fn low_priority_toll_plus_success_deposit_is_net_zero() {
+        let b = RetryBudget::new(10, 100);
+        let full = b.balance_millitokens();
+        for _ in 0..50 {
+            assert!(b.try_spend_low(), "a repaying background loop never yields");
+            b.record_success();
+        }
+        assert_eq!(b.balance_millitokens(), full, "toll + deposit must cancel");
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_probes_again() {
+        let mut b = Breaker::new();
+        assert!(b.admits(1));
+        b.record_failure(1);
+        b.record_failure(2);
+        assert!(b.admits(3), "two failures stay closed");
+        b.record_failure(3);
+        assert!(!b.admits(4), "third consecutive failure opens it");
+        assert!(b.admits(5), "first backoff skips one op, then half-open probe");
+        // A failed probe doubles the skip.
+        b.record_failure(5);
+        assert!(!b.admits(6));
+        assert!(!b.admits(7));
+        assert!(b.admits(8));
+        // A successful probe closes it fully.
+        b.record_success();
+        assert!(b.admits(9));
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn breaker_backoff_is_capped() {
+        let mut b = Breaker::new();
+        for op in 1..=64 {
+            b.record_failure(op);
+        }
+        assert!(!b.admits(65));
+        assert!(
+            b.admits(64 + BREAKER_CAP_OPS + 1),
+            "skip never exceeds BREAKER_CAP_OPS, so probes keep happening"
+        );
+    }
+
+    #[test]
+    fn remaining_budget_rounds_up_and_expires() {
+        let soon = Instant::now() + Duration::from_micros(300);
+        // Sub-millisecond remainder must stamp 1, never 0 ("no deadline").
+        if let Some(ms) = remaining_budget_ms(soon) {
+            assert_eq!(ms, 1);
+        }
+        let past = Instant::now() - Duration::from_millis(5);
+        assert_eq!(remaining_budget_ms(past), None);
+        let far = Instant::now() + Duration::from_secs(60 * 60 * 48);
+        assert_eq!(remaining_budget_ms(far), Some(MAX_BUDGET_MS), "clamped to the wire cap");
     }
 }

@@ -33,6 +33,22 @@ use hmh_store::log::MAX_NAME_LEN;
 /// Protocol version carried as the first body byte of every request.
 pub const PROTO_VERSION: u8 = 1;
 
+/// Protocol version for deadline-carrying requests: the body is
+/// `[PROTO_VERSION_BUDGET, opcode, budget_ms (u32 LE), fields…]`, where
+/// `budget_ms` is the *remaining* milliseconds the caller is still
+/// willing to wait (0 means "no deadline", identical to a version-1
+/// frame). Servers check the budget against time the request already
+/// spent queued and answer a typed [`Response::Expired`] instead of
+/// doing work whose caller has hung up; routers re-stamp the shrunk
+/// remainder onto every fan-out leg. Version-1 frames stay fully
+/// accepted — the two versions share one opcode space.
+pub const PROTO_VERSION_BUDGET: u8 = 2;
+
+/// Ceiling on a request's declared `budget_ms`: one day. A budget is a
+/// deadline, not a length, but an absurd value is still a lying field —
+/// rejected typed, like every other cap in this protocol.
+pub const MAX_BUDGET_MS: u32 = 24 * 60 * 60 * 1000;
+
 /// Hard ceiling on a frame body. Covers the largest legal sketch payload
 /// plus two names and fixed fields, with slack; anything larger is a
 /// lying length prefix, answered with a typed error and a closed
@@ -107,6 +123,7 @@ mod status {
     pub const NAMES_PAGE: u8 = 7;
     pub const BUSY: u8 = 0x40;
     pub const READ_ONLY: u8 = 0x41;
+    pub const EXPIRED: u8 = 0x42;
     pub const ERR: u8 = 0x7f;
 }
 
@@ -384,6 +401,18 @@ pub struct Health {
     /// Sketch handoffs a routing tier completed through rebalance
     /// (copy-verify-release cycles); 0 for a plain daemon.
     pub route_handoffs: u64,
+    /// Requests answered with a typed EXPIRED because their deadline
+    /// budget was already spent (queue wait, or upstream hops) before
+    /// any work was done.
+    pub expired: u64,
+    /// Operations refused because the process's shared retry budget was
+    /// empty: for a daemon, anti-entropy rounds that yielded under load;
+    /// for a router, shard retries denied mid-failover.
+    pub retry_exhausted: u64,
+    /// Operations short-circuited because every candidate replica's
+    /// circuit breaker was open — bounded refusal instead of amplified
+    /// dialing of a flapping peer.
+    pub breaker_open: u64,
     /// Configured replication peers and their health (empty when the
     /// daemon runs without replication). A routing tier reuses these
     /// slots for per-group liveness: one entry per replica group,
@@ -425,6 +454,9 @@ pub enum Response {
     Busy,
     /// The service is degraded to read-only; writes are refused.
     ReadOnly,
+    /// The request's `budget_ms` was already spent when the server was
+    /// ready to execute it; the work was not performed.
+    Expired,
     /// The request failed.
     Err {
         /// Typed error code.
@@ -716,6 +748,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     out
 }
 
+/// Encode a request body carrying a deadline budget.
+///
+/// A `budget_ms` of 0 means "no deadline" and produces the plain v1
+/// body byte-for-byte, so budget-unaware callers and budget-aware
+/// callers with no deadline stay indistinguishable on the wire. Any
+/// other value produces a [`PROTO_VERSION_BUDGET`] body with the
+/// budget spliced between the opcode and the fields.
+pub fn encode_request_budget(req: &Request, budget_ms: u32) -> Vec<u8> {
+    let mut out = encode_request(req);
+    if budget_ms == 0 {
+        return out;
+    }
+    debug_assert!(budget_ms <= MAX_BUDGET_MS, "invariant: callers clamp budgets to the cap");
+    out[0] = PROTO_VERSION_BUDGET;
+    out.splice(2..2, budget_ms.to_le_bytes());
+    out
+}
+
 /// Encode a response body.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
@@ -763,6 +813,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&h.rounds.to_le_bytes());
             out.extend_from_slice(&h.route_epoch.to_le_bytes());
             out.extend_from_slice(&h.route_handoffs.to_le_bytes());
+            out.extend_from_slice(&h.expired.to_le_bytes());
+            out.extend_from_slice(&h.retry_exhausted.to_le_bytes());
+            out.extend_from_slice(&h.breaker_open.to_le_bytes());
             assert!(h.peers.len() <= MAX_PEERS, "invariant: daemons cap peer lists");
             let count = u16::try_from(h.peers.len()).expect("invariant: MAX_PEERS fits u16");
             out.extend_from_slice(&count.to_le_bytes());
@@ -803,6 +856,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Busy => out.push(status::BUSY),
         Response::ReadOnly => out.push(status::READ_ONLY),
+        Response::Expired => out.push(status::EXPIRED),
         Response::Err { code, message } => {
             out.push(status::ERR);
             out.push(code.to_byte());
@@ -928,14 +982,37 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decode a request body.
+/// Decode a request body, discarding any deadline budget it carries.
 pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
+    decode_request_budget(body).map(|(req, _)| req)
+}
+
+/// Decode a request body together with its deadline budget.
+///
+/// v1 bodies carry no budget and decode as `budget_ms = 0` ("no
+/// deadline"). v2 ([`PROTO_VERSION_BUDGET`]) bodies carry a u32 budget
+/// between the opcode and the fields; budgets above [`MAX_BUDGET_MS`]
+/// are rejected as [`ProtoError::FieldTooLarge`] — a hostile frame must
+/// not buy itself an unbounded deadline.
+pub fn decode_request_budget(body: &[u8]) -> Result<(Request, u32), ProtoError> {
     let mut c = Cursor::new(body);
     let version = c.u8()?;
-    if version != PROTO_VERSION {
+    if version != PROTO_VERSION && version != PROTO_VERSION_BUDGET {
         return Err(ProtoError::BadVersion(version));
     }
     let opcode = c.u8()?;
+    let budget_ms = if version == PROTO_VERSION_BUDGET {
+        let budget = c.u32()?;
+        if budget > MAX_BUDGET_MS {
+            return Err(ProtoError::FieldTooLarge {
+                got: budget as usize,
+                max: MAX_BUDGET_MS as usize,
+            });
+        }
+        budget
+    } else {
+        0
+    };
     let req = match opcode {
         op::PUT => Request::Put { name: c.name()?, sketch: c.blob()? },
         op::GET => Request::Get { name: c.name()? },
@@ -983,7 +1060,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
         other => return Err(ProtoError::UnknownOp(other)),
     };
     c.finish()?;
-    Ok(req)
+    Ok((req, budget_ms))
 }
 
 /// Decode a response body.
@@ -1033,6 +1110,9 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
                 rounds: c.u64()?,
                 route_epoch: c.u64()?,
                 route_handoffs: c.u64()?,
+                expired: c.u64()?,
+                retry_exhausted: c.u64()?,
+                breaker_open: c.u64()?,
                 peers: Vec::new(),
             };
             let count = usize::from(c.u16()?);
@@ -1085,6 +1165,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
         }
         status::BUSY => Response::Busy,
         status::READ_ONLY => Response::ReadOnly,
+        status::EXPIRED => Response::Expired,
         status::ERR => {
             let code = ErrCode::from_byte(c.u8()?);
             Response::Err { code, message: c.message()? }
@@ -1222,6 +1303,9 @@ mod tests {
             rounds: 41,
             route_epoch: 3,
             route_handoffs: 1729,
+            expired: 314,
+            retry_exhausted: 27,
+            breaker_open: 9,
             peers: vec![
                 PeerHealth {
                     addr: "10.0.0.7:7700".into(),
@@ -1239,6 +1323,7 @@ mod tests {
         }));
         round_trip_response(Response::Busy);
         round_trip_response(Response::ReadOnly);
+        round_trip_response(Response::Expired);
         round_trip_response(Response::Err {
             code: ErrCode::NotFound,
             message: "no such sketch".into(),
@@ -1489,6 +1574,77 @@ mod tests {
         assert_eq!(b[state_off], PeerState::Healthy.to_byte());
         b[state_off] = 9;
         assert_eq!(decode_response(&b), Err(ProtoError::UnknownEnum(9)));
+    }
+
+    #[test]
+    fn budget_frames_round_trip_and_v1_decodes_as_no_deadline() {
+        // Every opcode carries a budget unchanged through a v2 body.
+        let reqs = [
+            Request::Put { name: "a".into(), sketch: vec![1, 2, 3] },
+            Request::Get { name: "g".into() },
+            Request::Merge { name: "m".into(), sketch: vec![0; 64] },
+            Request::Card { name: "c".into() },
+            Request::Jaccard { a: "x".into(), b: "y".into() },
+            Request::Digest { after: String::new() },
+            Request::Sync { names: vec!["s".into()] },
+            Request::List,
+            Request::ListPage { after: "after".into() },
+            Request::Delete { name: "d".into() },
+            Request::Health,
+            Request::Shutdown,
+            Request::BatchPut {
+                name: "b".into(),
+                p: 8,
+                q: 6,
+                r: 6,
+                algorithm: 0,
+                seed: 7,
+                items: vec![b"one".to_vec()],
+            },
+        ];
+        for req in reqs {
+            for budget in [1u32, 250, MAX_BUDGET_MS] {
+                let body = encode_request_budget(&req, budget);
+                assert_eq!(body[0], PROTO_VERSION_BUDGET);
+                assert_eq!(decode_request_budget(&body).unwrap(), (req.clone(), budget));
+                // Budget-unaware decoding still understands the request.
+                assert_eq!(decode_request(&body).unwrap(), req);
+            }
+            // Budget 0 is byte-identical to the v1 encoding: no deadline
+            // is not a distinguishable wire state.
+            let body = encode_request_budget(&req, 0);
+            assert_eq!(body, encode_request(&req));
+            assert_eq!(decode_request_budget(&body).unwrap(), (req, 0));
+        }
+    }
+
+    #[test]
+    fn budget_adversarial_bodies_are_typed_errors() {
+        // A budget over the cap must not buy an unbounded deadline.
+        let mut b = vec![PROTO_VERSION_BUDGET, op::LIST];
+        b.extend_from_slice(&(MAX_BUDGET_MS + 1).to_le_bytes());
+        assert_eq!(
+            decode_request_budget(&b),
+            Err(ProtoError::FieldTooLarge {
+                got: (MAX_BUDGET_MS + 1) as usize,
+                max: MAX_BUDGET_MS as usize,
+            })
+        );
+        // A v2 header cut off mid-budget is Truncated, not misparsed.
+        let b = [PROTO_VERSION_BUDGET, op::LIST, 0x10, 0x00];
+        assert!(matches!(decode_request_budget(&b), Err(ProtoError::Truncated { .. })));
+        // Unknown versions stay rejected; v2 is the only extension.
+        assert_eq!(decode_request_budget(&[3, op::LIST]), Err(ProtoError::BadVersion(3)));
+    }
+
+    #[test]
+    fn health_overload_counters_round_trip() {
+        round_trip_response(Response::Health(Health {
+            expired: u64::MAX,
+            retry_exhausted: 1,
+            breaker_open: 0xDEAD_BEEF,
+            ..Health::default()
+        }));
     }
 
     #[test]

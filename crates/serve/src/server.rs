@@ -32,7 +32,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hmh_core::format;
 use hmh_core::{HmhParams, HyperMinHash};
@@ -40,9 +40,9 @@ use hmh_hash::RandomOracle;
 use hmh_store::{FileBackend, SketchStore, StoreError, StoreOptions};
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, DigestEntry, ErrCode, FrameError,
-    Health, PeerHealth, Request, Response, SyncEntry, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN,
-    MAX_LIST_NAMES, MAX_SYNC_NAMES,
+    decode_request_budget, encode_response, read_frame, write_frame, DigestEntry, ErrCode,
+    FrameError, Health, PeerHealth, Request, Response, SyncEntry, MAX_DIGEST_ENTRIES,
+    MAX_FRAME_LEN, MAX_LIST_NAMES, MAX_SYNC_NAMES,
 };
 
 /// Daemon configuration.
@@ -123,6 +123,10 @@ const POLL_TICK: Duration = Duration::from_millis(5);
 #[derive(Debug, Default)]
 pub struct ReplicationStatus {
     inner: Mutex<(u64, Vec<PeerHealth>)>,
+    /// Peer syncs the engine skipped because the shared retry budget was
+    /// too drained for background traffic — repair yielding to
+    /// foreground load, surfaced as HEALTH `retry_exhausted`.
+    yields: AtomicU64,
 }
 
 impl ReplicationStatus {
@@ -136,17 +140,32 @@ impl ReplicationStatus {
     pub fn snapshot(&self) -> (u64, Vec<PeerHealth>) {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
+
+    /// Record one peer sync skipped for budget reasons.
+    pub fn record_yield(&self) {
+        self.yields.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Peer syncs skipped for budget reasons since start.
+    pub fn yields(&self) -> u64 {
+        self.yields.load(Ordering::Relaxed)
+    }
 }
 
 struct Shared {
     store: Mutex<SketchStore<FileBackend>>,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections waiting for a worker, each stamped with its
+    /// accept time so dequeue can expire requests whose deadline budget
+    /// was spent in the queue.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     /// Signals workers that the queue gained a connection or shutdown began.
     wake: Condvar,
     shutdown: AtomicBool,
     read_only: AtomicBool,
     shed: AtomicU64,
     served: AtomicU64,
+    /// Requests answered with a typed EXPIRED instead of executed.
+    expired: AtomicU64,
     active: AtomicU32,
     replication: Arc<ReplicationStatus>,
     opts: ServeOptions,
@@ -159,7 +178,7 @@ impl Shared {
         self.store.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+    fn queue(&self) -> MutexGuard<'_, VecDeque<(TcpStream, Instant)>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -235,6 +254,7 @@ pub fn serve(
         read_only: AtomicBool::new(false),
         shed: AtomicU64::new(0),
         served: AtomicU64::new(0),
+        expired: AtomicU64::new(0),
         active: AtomicU32::new(0),
         replication: Arc::new(ReplicationStatus::default()),
         opts: opts.clone(),
@@ -280,7 +300,7 @@ fn enqueue(shared: &Shared, stream: TcpStream) {
         shed_busy(shared, stream);
         return;
     }
-    queue.push_back(stream);
+    queue.push_back((stream, Instant::now()));
     drop(queue);
     shared.wake.notify_one();
 }
@@ -312,14 +332,14 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
-        let Some(stream) = stream else { return };
+        let Some((stream, queued_at)) = stream else { return };
         shared.active.fetch_add(1, Ordering::SeqCst);
-        handle_connection(shared, stream);
+        handle_connection(shared, stream, queued_at);
         shared.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, mut stream: TcpStream, queued_at: Instant) {
     // Deadline every blocking read and write; a misconfigured socket is
     // not worth serving without them.
     if stream.set_read_timeout(Some(shared.opts.read_timeout)).is_err()
@@ -329,6 +349,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
     let _ = stream.set_nodelay(true);
 
+    let mut first_request = true;
     loop {
         let body = match read_frame(&mut stream, shared.opts.max_frame) {
             Ok(Some(body)) => body,
@@ -348,8 +369,23 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
         };
 
-        let (resp, disposition) = match decode_request(&body) {
-            Ok(request) => handle_request(shared, request),
+        let (resp, disposition) = match decode_request_budget(&body) {
+            // Dequeue-time expiry: the first request's wait began at
+            // accept, so elapsed-since-queue IS the dead-work window a
+            // deadline budget exists to cut off. Answer a typed EXPIRED
+            // and do none of the work — the caller has already given up
+            // on this result. Later keep-alive frames skip the check:
+            // elapsed time would include client think-time between
+            // requests, which is not queueing delay.
+            Ok((_request, budget_ms))
+                if first_request
+                    && budget_ms > 0
+                    && queued_at.elapsed() >= Duration::from_millis(u64::from(budget_ms)) =>
+            {
+                shared.expired.fetch_add(1, Ordering::Relaxed);
+                (Response::Expired, Disposition::KeepAlive)
+            }
+            Ok((request, _budget_ms)) => handle_request(shared, request),
             Err(e) => (
                 Response::Err { code: e.code(), message: e.to_string() },
                 // Parse failures close the connection: the peer either
@@ -357,6 +393,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 Disposition::Close,
             ),
         };
+        first_request = false;
         if write_frame(&mut stream, &encode_response(&resp)).is_err() {
             return;
         }
@@ -468,6 +505,10 @@ fn not_found(name: &str) -> Response {
     Response::Err { code: ErrCode::NotFound, message: format!("no sketch named {name:?}") }
 }
 
+// The Err variant is a ready-to-send Response (Health grew past the
+// clippy size bar); it is written to the socket immediately, never
+// propagated, so boxing would only add an allocation on the error path.
+#[allow(clippy::result_large_err)]
 fn decoded(shared: &Shared, name: &str) -> Result<HyperMinHash, Response> {
     let store = shared.store();
     let Some(bytes) = store.get_encoded(name) else {
@@ -634,6 +675,12 @@ fn health_snapshot(shared: &Shared) -> Health {
         // own HEALTH with these filled in.
         route_epoch: 0,
         route_handoffs: 0,
+        expired: shared.expired.load(Ordering::Relaxed),
+        // For a daemon, budget pressure shows up as anti-entropy syncs
+        // yielding to foreground load; a breaker lives client-side, so a
+        // plain daemon never opens one.
+        retry_exhausted: shared.replication.yields(),
+        breaker_open: 0,
         peers,
     }
 }

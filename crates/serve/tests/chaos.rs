@@ -73,6 +73,7 @@ fn client(handle: &ServerHandle) -> Client {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
             retry: RetryPolicy::default().with_jitter_seed(0xC0FFEE),
+            ..ClientOptions::default()
         },
     )
 }
@@ -706,6 +707,7 @@ fn disconnect_after_request_flushed_is_retried_not_fatal() {
                 retry.max_attempts = 4;
                 retry
             },
+            ..ClientOptions::default()
         },
     );
     c.put("retried", &sketch(0, 500)).expect("post-flush disconnects must be retried");

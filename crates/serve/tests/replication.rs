@@ -85,8 +85,10 @@ fn engine_opts(seed: u64) -> ReplicaOptions {
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_millis(500),
             retry: RetryPolicy::none(),
+            ..ClientOptions::default()
         },
         backoff_cap: 4,
+        retry_budget: None,
     }
 }
 
@@ -98,6 +100,7 @@ fn client(addr: SocketAddr) -> Client {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
             retry: RetryPolicy::default().with_jitter_seed(0xC0FFEE),
+            ..ClientOptions::default()
         },
     )
 }
@@ -760,6 +763,7 @@ fn failover_client_completes_operations_with_a_node_down() {
         read_timeout: Duration::from_millis(800),
         write_timeout: Duration::from_millis(800),
         retry: RetryPolicy::none(), // rotation IS the retry here
+        ..ClientOptions::default()
     };
     // Dead replica listed first: every op must rotate past it.
     let mut fc = FailoverClient::with_options(&[addr_a, addr_b], opts, 3);
@@ -815,12 +819,13 @@ fn failover_client_types_the_all_down_path() {
         read_timeout: Duration::from_millis(300),
         write_timeout: Duration::from_millis(300),
         retry: RetryPolicy::none(),
+        ..ClientOptions::default()
     };
     let mut fc = FailoverClient::with_options(&[addr_a, addr_b], opts, 4);
     let err = fc.put("orphan", &sketch(0, 100)).unwrap_err();
-    match err {
+    match &err {
         ClientError::AllReplicasDown { attempts, last_errors } => {
-            assert_eq!(attempts, 4);
+            assert_eq!(*attempts, 4);
             assert_eq!(last_errors.len(), 4);
             // Rotation order: a, b, a, b — each entry names its replica.
             assert!(last_errors[0].starts_with(&addr_a.to_string()), "{last_errors:?}");
@@ -833,8 +838,28 @@ fn failover_client_types_the_all_down_path() {
         other => panic!("expected AllReplicasDown, got {other:?}"),
     }
     // The Display form summarizes without dumping every attempt.
-    let display = fc.put("orphan", &sketch(0, 100)).unwrap_err().to_string();
-    assert!(display.contains("all replicas down after 4 attempts"), "{display}");
+    assert!(err.to_string().contains("all replicas down after 4 attempts"), "{err}");
+    // The first call's four failures (two consecutive per replica, then
+    // one more each on call two would be needed — but the breaker opens
+    // at three) mean repeated calls soon refuse from memory: still
+    // typed, still instant, zero further dials.
+    let started = std::time::Instant::now();
+    let again = fc.put("orphan", &sketch(0, 100)).unwrap_err();
+    assert!(
+        matches!(
+            again,
+            ClientError::AllReplicasDown { .. } | ClientError::BreakerOpen { replicas: 2 }
+        ),
+        "repeat all-down call must stay typed, got {again:?}"
+    );
+    let err = loop {
+        match fc.put("orphan", &sketch(0, 100)).unwrap_err() {
+            e @ ClientError::BreakerOpen { .. } => break e,
+            ClientError::AllReplicasDown { .. } if started.elapsed() < Duration::from_secs(5) => {}
+            other => panic!("expected breaker escalation, got {other:?}"),
+        }
+    };
+    assert!(err.to_string().contains("breaker"), "{err}");
 }
 
 /// A live address that nothing listens on: bind, read the port, drop.

@@ -104,11 +104,27 @@ impl RetryPolicy {
     /// first success, the first permanent error, or the last transient
     /// error once the attempt count or the time budget is exhausted.
     pub fn run<T>(&mut self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        self.run_gated(|_| op(), || Ok(()))
+    }
+
+    /// Like [`RetryPolicy::run`], but each *retry* (never the first
+    /// attempt) must first pass `gate`; a gate error replaces the retry
+    /// and is returned as the call's failure. This is how callers plug a
+    /// cross-operation retry budget into the per-operation schedule: the
+    /// schedule bounds one call, the gate bounds the fleet of calls
+    /// sharing it. `op` receives the 1-based attempt number so callers
+    /// can re-stamp per-attempt state (a shrinking deadline, say) into
+    /// the request they send.
+    pub fn run_gated<T>(
+        &mut self,
+        mut op: impl FnMut(u32) -> io::Result<T>,
+        mut gate: impl FnMut() -> io::Result<()>,
+    ) -> io::Result<T> {
         let mut attempt = 0u32;
         let mut slept = Duration::ZERO;
         loop {
             attempt += 1;
-            match op() {
+            match op(attempt) {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) && attempt < self.max_attempts => {
                     let d = self.delay(attempt);
@@ -116,6 +132,7 @@ impl RetryPolicy {
                         Some(total) if total <= self.budget => slept = total,
                         _ => return Err(e), // budget exhausted
                     }
+                    gate()?;
                     (self.sleep)(d);
                 }
                 Err(e) => return Err(e),
@@ -217,6 +234,47 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn gate_denial_stops_retries_with_the_gate_error() {
+        let mut p = RetryPolicy::no_sleep();
+        let mut calls = 0;
+        let mut gate_calls = 0;
+        let r: io::Result<()> = p.run_gated(
+            |_| {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::TimedOut, "always"))
+            },
+            || {
+                gate_calls += 1;
+                if gate_calls >= 2 {
+                    Err(io::Error::other("retry budget exhausted"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        let err = r.unwrap_err();
+        assert!(err.to_string().contains("retry budget exhausted"));
+        // First attempt is free; gate admitted one retry, denied the next.
+        assert_eq!(calls, 2);
+        assert_eq!(gate_calls, 2);
+    }
+
+    #[test]
+    fn gated_attempt_numbers_are_one_based_and_increment() {
+        let mut p = RetryPolicy::no_sleep();
+        let mut seen = Vec::new();
+        let r: io::Result<()> = p.run_gated(
+            |attempt| {
+                seen.push(attempt);
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+            },
+            || Ok(()),
+        );
+        assert!(r.is_err());
+        assert_eq!(seen, vec![1, 2, 3, 4], "default max_attempts with free first attempt");
     }
 
     #[test]
