@@ -108,19 +108,24 @@ commands:
           router; OP is one of
             run ADDR [--seed S] [--connections N] [--duty-ms D]
                      [--rate OPS_PER_SEC] [--budget-ms B] [--keys K]
+                     [--pipeline P]
                      [--mix put=20,card=70,jaccard=9,list=1]
                               one load phase: closed loop, or an
                               open-loop schedule when --rate is set;
-                              prints goodput, p50/p99 and the outcome
-                              taxonomy (ok/busy/expired/...)
+                              --pipeline keeps P frames in flight per
+                              connection; prints goodput, p50/p99 and
+                              the outcome taxonomy (ok/busy/expired/...)
             sweep ADDR [--seed S] [--connections N] [--duty-ms D]
                        [--budget-ms B] [--keys K] [--band F]
-                       [--json FILE]
+                       [--pipeline P] [--min-speedup R] [--json FILE]
                               closed-loop peak, then 1x/2x/4x offered
                               overload; fails unless goodput at 4x
                               stays >= F of peak (default 0.7) with
-                              typed rejections; --json writes the
-                              BENCH_serve.json artifact
+                              typed rejections; with --pipeline P > 1 a
+                              second calibration prices pipelining and
+                              --min-speedup fails the run unless
+                              pipelined peak >= R x serial peak; --json
+                              writes the BENCH_serve.json artifact
 ";
 
 /// Run the CLI with pre-split arguments (no program name), writing results
@@ -922,6 +927,7 @@ struct LoadgenFlags {
     base: hmh_loadgen::LoadOptions,
     rate: Option<f64>,
     band: f64,
+    min_speedup: Option<f64>,
     json: Option<String>,
 }
 
@@ -930,6 +936,7 @@ fn parse_loadgen_flags(args: &[String]) -> Result<LoadgenFlags, CliError> {
         base: hmh_loadgen::LoadOptions::default(),
         rate: None,
         band: 0.7,
+        min_speedup: None,
         json: None,
     };
     let need = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
@@ -983,6 +990,20 @@ fn parse_loadgen_flags(args: &[String]) -> Result<LoadgenFlags, CliError> {
                 flags.band = need(args, i, "--band")?
                     .parse()
                     .map_err(|e| CliError::usage(format!("--band: {e}")))?;
+            }
+            "--pipeline" => {
+                i += 1;
+                flags.base.pipeline = need(args, i, "--pipeline")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--pipeline: {e}")))?;
+            }
+            "--min-speedup" => {
+                i += 1;
+                flags.min_speedup = Some(
+                    need(args, i, "--min-speedup")?
+                        .parse()
+                        .map_err(|e| CliError::usage(format!("--min-speedup: {e}")))?,
+                );
             }
             "--json" => {
                 i += 1;
@@ -1046,8 +1067,10 @@ fn cmd_loadgen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_loadgen_flags(rest)?;
     match op.as_str() {
         "run" => {
-            if flags.json.is_some() || flags.band != 0.7 {
-                return Err(CliError::usage("--json/--band apply to `loadgen sweep` only"));
+            if flags.json.is_some() || flags.band != 0.7 || flags.min_speedup.is_some() {
+                return Err(CliError::usage(
+                    "--json/--band/--min-speedup apply to `loadgen sweep` only",
+                ));
             }
             let mut opts = flags.base;
             if let Some(rate) = flags.rate {
@@ -1064,6 +1087,9 @@ fn cmd_loadgen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             if flags.rate.is_some() {
                 return Err(CliError::usage("--rate applies to `loadgen run` only"));
             }
+            if flags.min_speedup.is_some() && flags.base.pipeline <= 1 {
+                return Err(CliError::usage("--min-speedup needs --pipeline > 1"));
+            }
             let opts = hmh_loadgen::SweepOptions {
                 base: flags.base,
                 ..hmh_loadgen::SweepOptions::default()
@@ -1071,6 +1097,19 @@ fn cmd_loadgen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let sweep = hmh_loadgen::sweep(addr, &opts)
                 .map_err(|e| CliError::runtime(format!("sweep: {e}")))?;
             write_out(out, report_lines("peak", &sweep.peak))?;
+            if let Some(pipelined) = &sweep.peak_pipelined {
+                write_out(
+                    out,
+                    report_lines(&format!("peak(pipeline={})", sweep.pipeline_depth), pipelined),
+                )?;
+                write_out(
+                    out,
+                    format!(
+                        "pipeline speedup: {:.2}x over the serial peak\n",
+                        sweep.pipeline_speedup().unwrap_or(0.0)
+                    ),
+                )?;
+            }
             for row in &sweep.rows {
                 let ratio = row.report.goodput() / sweep.peak_goodput().max(1e-9);
                 write_out(
@@ -1089,6 +1128,15 @@ fn cmd_loadgen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 hmh_store::atomic_write_file(Path::new(path), sweep.to_json().as_bytes())
                     .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
                 write_out(out, format!("wrote {path}\n"))?;
+            }
+            if let Some(min) = flags.min_speedup {
+                let speedup = sweep.pipeline_speedup().unwrap_or(0.0);
+                if speedup < min {
+                    return Err(CliError::runtime(format!(
+                        "pipelining underdelivered: {speedup:.2}x over the serial peak \
+                         (contract: >= {min:.2}x)"
+                    )));
+                }
             }
             hmh_loadgen::degradation_ok(&sweep, flags.band)
                 .map_err(|why| CliError::runtime(format!("degradation contract failed: {why}")))?;

@@ -21,14 +21,25 @@
 //!   This is how overload is applied: the schedule does not slow down
 //!   just because the server did.
 //!
+//! Orthogonal to pacing, [`LoadOptions::pipeline`] sets how many
+//! frames each connection keeps in flight per exchange: depth 1 is the
+//! classic one-request-one-reply loop; deeper windows ride the
+//! protocol's pipelining (one round trip — and server-side one
+//! vectored write — per window). The op stream at a given seed is
+//! identical at every depth, so pipelined and serial runs price the
+//! same workload.
+//!
 //! The overload sweep ([`sweep`]) measures closed-loop peak, then
 //! applies open-loop offered load at increasing multiples of that
 //! peak and checks the graceful-degradation contract
 //! ([`degradation_ok`]): goodput stays within a band of peak, every
 //! rejection is typed (BUSY / EXPIRED / retry-budget / unavailable —
 //! never a hang, rarely a reset), and every phase finishes inside its
-//! wall-clock bound. Results serialize to `BENCH_serve.json`
-//! ([`Sweep::to_json`]), the committed perf-trajectory artifact.
+//! wall-clock bound. When the sweep runs pipelined it calibrates both
+//! a serial and a pipelined peak ([`Sweep::pipeline_speedup`]) so the
+//! artifact prices what pipelining buys on that machine. Results
+//! serialize to `BENCH_serve.json` ([`Sweep::to_json`]), the committed
+//! perf-trajectory artifact.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -37,6 +48,6 @@ mod report;
 mod run;
 mod sweep;
 
-pub use report::{Outcome, Report};
+pub use report::{classify_response, Outcome, Report};
 pub use run::{run, LoadOptions, LoadgenError, Mix, Pacing};
 pub use sweep::{degradation_ok, sweep, Sweep, SweepOptions, SweepRow};

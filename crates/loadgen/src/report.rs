@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use hmh_serve::{ClientError, ErrCode};
+use hmh_serve::{ClientError, ErrCode, Response};
 
 /// How one operation ended, from the load generator's point of view.
 ///
@@ -49,7 +49,8 @@ pub fn classify<T>(result: &Result<T, ClientError>) -> Outcome {
             ClientError::ReadOnly
             | ClientError::NotFound(_)
             | ClientError::Server { .. }
-            | ClientError::ItemTooLarge { .. },
+            | ClientError::ItemTooLarge { .. }
+            | ClientError::PipelineOverflow { .. },
         ) => Outcome::TypedOther,
         Err(
             ClientError::Io(_)
@@ -57,6 +58,24 @@ pub fn classify<T>(result: &Result<T, ClientError>) -> Outcome {
             | ClientError::Format(_)
             | ClientError::AllReplicasDown { .. },
         ) => Outcome::Transport,
+    }
+}
+
+/// Classify one reply slot of a pipelined exchange.
+///
+/// [`Client::pipeline`](hmh_serve::Client::pipeline) returns the raw
+/// per-slot responses so one refused frame does not hide its siblings;
+/// this maps each slot onto the same taxonomy `classify` applies to
+/// whole-call errors. Typed per-frame refusals (EXPIRED, READ_ONLY,
+/// server errors) land in their usual rows; any payload-bearing reply
+/// counts as success.
+pub fn classify_response(response: &Response) -> Outcome {
+    match response {
+        Response::Busy => Outcome::Busy,
+        Response::Expired => Outcome::Expired,
+        Response::Err { code: ErrCode::Unavailable, .. } => Outcome::Unavailable,
+        Response::ReadOnly | Response::Err { .. } => Outcome::TypedOther,
+        _ => Outcome::Ok,
     }
 }
 
@@ -203,6 +222,30 @@ mod tests {
                 last_errors: vec![],
             })),
             Outcome::Transport
+        );
+    }
+
+    #[test]
+    fn reply_slots_classify_like_whole_call_errors() {
+        assert_eq!(classify_response(&Response::Ok), Outcome::Ok);
+        assert_eq!(classify_response(&Response::Value(42.0)), Outcome::Ok);
+        assert_eq!(classify_response(&Response::Names(vec![])), Outcome::Ok);
+        assert_eq!(classify_response(&Response::Busy), Outcome::Busy);
+        assert_eq!(classify_response(&Response::Expired), Outcome::Expired);
+        assert_eq!(classify_response(&Response::ReadOnly), Outcome::TypedOther);
+        assert_eq!(
+            classify_response(&Response::Err {
+                code: ErrCode::Unavailable,
+                message: "group \"b\" is down".into(),
+            }),
+            Outcome::Unavailable
+        );
+        assert_eq!(
+            classify_response(&Response::Err {
+                code: ErrCode::NotFound,
+                message: "no sketch named \"x\"".into(),
+            }),
+            Outcome::TypedOther
         );
     }
 

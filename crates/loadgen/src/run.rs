@@ -8,10 +8,10 @@ use std::time::{Duration, Instant};
 
 use hmh_core::{format, HmhParams, HyperMinHash};
 use hmh_hash::splitmix::SplitMix64;
-use hmh_serve::{Client, ClientError, ClientOptions, RetryBudget};
+use hmh_serve::{Client, ClientError, ClientOptions, Request, RetryBudget, MAX_PIPELINE_DEPTH};
 use hmh_store::RetryPolicy;
 
-use crate::report::{classify, Report};
+use crate::report::{classify, classify_response, Report};
 
 /// Relative weights of the operations in the generated stream.
 ///
@@ -101,6 +101,12 @@ pub struct LoadOptions {
     /// Per-operation deadline budget stamped on the wire (v2 frames).
     /// `None` sends v1 frames with no deadline.
     pub budget: Option<Duration>,
+    /// Frames each connection keeps in flight per exchange. `1` is the
+    /// classic one-request-one-reply loop; `2..=MAX_PIPELINE_DEPTH`
+    /// submits that many operations per [`Client::pipeline`] call, so
+    /// one round trip (and, server-side, one vectored write) carries
+    /// the whole window.
+    pub pipeline: usize,
     /// Number of distinct sketch names (preloaded before measuring, so
     /// reads never see NOT_FOUND).
     pub keys: usize,
@@ -123,6 +129,7 @@ impl Default for LoadOptions {
             mix: Mix::default(),
             pacing: Pacing::Closed,
             budget: None,
+            pipeline: 1,
             keys: 64,
             payload_items: 256,
             client: ClientOptions {
@@ -213,6 +220,12 @@ pub fn run(addr: SocketAddr, opts: &LoadOptions) -> Result<Report, LoadgenError>
     if opts.mix.total() == 0 {
         return Err(LoadgenError::Config("the op mix has zero total weight".into()));
     }
+    if opts.pipeline == 0 || opts.pipeline > MAX_PIPELINE_DEPTH {
+        return Err(LoadgenError::Config(format!(
+            "pipeline depth {} is outside 1..={MAX_PIPELINE_DEPTH}",
+            opts.pipeline
+        )));
+    }
     let payload = payload(opts.seed, opts.payload_items)?;
 
     // Preload with patient retries and no deadline: reads during the
@@ -248,6 +261,24 @@ pub fn run(addr: SocketAddr, opts: &LoadOptions) -> Result<Report, LoadgenError>
     Ok(merged)
 }
 
+/// Draw the next operation from a worker's seeded stream.
+///
+/// Both the serial and the pipelined loops consume the stream through
+/// this one function (three rolls per op, in a fixed order), so the
+/// generated workload at a given seed is identical at every pipeline
+/// depth — only the framing onto the wire differs.
+fn next_request(rng: &mut SplitMix64, opts: &LoadOptions, payload: &[u8]) -> Request {
+    let roll = rng.next_u64() % opts.mix.total();
+    let key = (rng.next_u64() % opts.keys as u64) as usize;
+    let key2 = (rng.next_u64() % opts.keys as u64) as usize;
+    match opts.mix.pick(roll) {
+        Op::Put => Request::Put { name: key_name(key), sketch: payload.to_vec() },
+        Op::Card => Request::Card { name: key_name(key) },
+        Op::Jaccard => Request::Jaccard { a: key_name(key), b: key_name(key2) },
+        Op::List => Request::List,
+    }
+}
+
 /// One connection's loop: seeded op stream, pacing, classification.
 fn worker(
     addr: SocketAddr,
@@ -256,6 +287,9 @@ fn worker(
     payload: &[u8],
     index: usize,
 ) -> Report {
+    if opts.pipeline > 1 {
+        return worker_pipelined(addr, opts, client_opts, payload, index);
+    }
     let mut rng = SplitMix64::new(SplitMix64::derive(opts.seed, index as u64));
     let mut client = Client::with_options(addr, client_opts);
     let mut report = Report::default();
@@ -289,17 +323,95 @@ fn worker(
             None => Instant::now(),
         };
         issued = issued.saturating_add(1);
-        let roll = rng.next_u64() % opts.mix.total();
-        let key = (rng.next_u64() % opts.keys as u64) as usize;
-        let key2 = (rng.next_u64() % opts.keys as u64) as usize;
-        let outcome = match opts.mix.pick(roll) {
-            Op::Put => classify(&client.put_raw(&key_name(key), payload)),
-            Op::Card => classify(&client.card(&key_name(key))),
-            Op::Jaccard => classify(&client.jaccard(&key_name(key), &key_name(key2))),
-            Op::List => classify(&client.list()),
+        let outcome = match next_request(&mut rng, opts, payload) {
+            Request::Put { name, .. } => classify(&client.put_raw(&name, payload)),
+            Request::Card { name } => classify(&client.card(&name)),
+            Request::Jaccard { a, b } => classify(&client.jaccard(&a, &b)),
+            _ => classify(&client.list()),
         };
         let latency_us = u64::try_from(op_start.elapsed().as_micros()).unwrap_or(u64::MAX);
         report.record(outcome, latency_us);
+    }
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// One connection's loop at pipeline depth > 1: each iteration draws a
+/// window of operations from the same seeded stream the serial loop
+/// uses, submits the window as one pipelined exchange, and classifies
+/// every reply slot individually.
+fn worker_pipelined(
+    addr: SocketAddr,
+    opts: &LoadOptions,
+    client_opts: ClientOptions,
+    payload: &[u8],
+    index: usize,
+) -> Report {
+    let mut rng = SplitMix64::new(SplitMix64::derive(opts.seed, index as u64));
+    let mut client = Client::with_options(addr, client_opts);
+    let mut report = Report::default();
+    let started = Instant::now();
+    let end = started + opts.duty;
+    let interval = match opts.pacing {
+        Pacing::Open { ops_per_sec } if ops_per_sec > 0.0 => {
+            Some(Duration::from_secs_f64(opts.connections as f64 / ops_per_sec))
+        }
+        _ => None,
+    };
+    let mut issued: u32 = 0;
+    while Instant::now() < end {
+        // Claim this window's schedule slots. Under open pacing the
+        // exchange is issued at the *first* op's slot and carries the
+        // later slots early: the offered schedule is unchanged, the
+        // wire just sees it in bursts of `pipeline` — which is the
+        // point. Latency is still measured from each op's own slot
+        // (backlog counts as latency; completing before one's slot
+        // counts as zero), and no op whose slot falls past the duty
+        // edge is issued.
+        let mut starts: Vec<Instant> = Vec::with_capacity(opts.pipeline);
+        match interval {
+            Some(step) => {
+                let first = started + step.mul_f64(f64::from(issued));
+                let now = Instant::now();
+                if first > now {
+                    thread::sleep(first - now);
+                }
+                if first >= end {
+                    break;
+                }
+                starts.push(first);
+                for k in 1..opts.pipeline as u32 {
+                    let slot = started + step.mul_f64(f64::from(issued.saturating_add(k)));
+                    if slot >= end {
+                        break;
+                    }
+                    starts.push(slot);
+                }
+            }
+            None => starts.resize(opts.pipeline, Instant::now()),
+        }
+        issued = issued.saturating_add(starts.len() as u32);
+        let requests: Vec<Request> =
+            starts.iter().map(|_| next_request(&mut rng, opts, payload)).collect();
+        match client.pipeline(&requests) {
+            Ok(replies) => {
+                let done = Instant::now();
+                for (slot, reply) in starts.iter().zip(&replies) {
+                    let latency_us =
+                        u64::try_from(done.saturating_duration_since(*slot).as_micros())
+                            .unwrap_or(u64::MAX);
+                    report.record(classify_response(reply), latency_us);
+                }
+            }
+            Err(error) => {
+                // A whole-exchange failure takes the window down
+                // together: every slot records the same outcome.
+                let outcome = classify::<()>(&Err(error));
+                for _ in &starts {
+                    report.record(outcome, 0);
+                }
+            }
+        }
     }
     report.elapsed = started.elapsed();
     report
@@ -335,6 +447,33 @@ mod tests {
             ..LoadOptions::default()
         };
         assert!(matches!(run(addr, &empty_mix), Err(LoadgenError::Config(_))));
+    }
+
+    #[test]
+    fn pipeline_depth_is_validated() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        for depth in [0, MAX_PIPELINE_DEPTH + 1] {
+            let opts = LoadOptions { pipeline: depth, ..LoadOptions::default() };
+            assert!(matches!(run(addr, &opts), Err(LoadgenError::Config(_))));
+        }
+    }
+
+    #[test]
+    fn op_stream_is_identical_at_every_pipeline_depth() {
+        // The pipelined worker must price the *same* workload, not a
+        // reshuffled one: windowing the stream into batches of 8 draws
+        // exactly the ops the serial loop would have drawn one by one.
+        let opts = LoadOptions::default();
+        let payload = payload(opts.seed, 8).expect("payload");
+        let mut serial_rng = SplitMix64::new(SplitMix64::derive(opts.seed, 3));
+        let mut windowed_rng = SplitMix64::new(SplitMix64::derive(opts.seed, 3));
+        let serial: Vec<Request> =
+            (0..64).map(|_| next_request(&mut serial_rng, &opts, &payload)).collect();
+        let mut windowed: Vec<Request> = Vec::new();
+        for _ in 0..8 {
+            windowed.extend((0..8).map(|_| next_request(&mut windowed_rng, &opts, &payload)));
+        }
+        assert_eq!(serial, windowed);
     }
 
     #[test]

@@ -55,16 +55,32 @@ pub struct Sweep {
     /// serializes generator and server; peak numbers are not
     /// comparable across different counts).
     pub cpus: usize,
-    /// Calibration phase (closed loop at base concurrency).
+    /// Pipeline depth the overload rows ran at (1 = serial).
+    pub pipeline_depth: usize,
+    /// Calibration phase (closed loop at base concurrency), always
+    /// measured *unpipelined* so the serial baseline is printed next to
+    /// the pipelined one at any depth.
     pub peak: Report,
+    /// Second calibration at [`Sweep::pipeline_depth`] frames in
+    /// flight; present only when the sweep ran with depth > 1. The
+    /// side-by-side pair prices what pipelining buys on this machine.
+    pub peak_pipelined: Option<Report>,
     /// Overload phases, in multiplier order.
     pub rows: Vec<SweepRow>,
 }
 
 impl Sweep {
-    /// Peak goodput measured by the calibration phase, ops/sec.
+    /// The effective peak goodput the overload rows are priced
+    /// against, ops/sec: the pipelined calibration when one ran,
+    /// otherwise the serial one.
     pub fn peak_goodput(&self) -> f64 {
-        self.peak.goodput()
+        self.peak_pipelined.as_ref().unwrap_or(&self.peak).goodput()
+    }
+
+    /// Pipelined-over-serial goodput ratio, when both calibrations ran.
+    pub fn pipeline_speedup(&self) -> Option<f64> {
+        let pipelined = self.peak_pipelined.as_ref()?;
+        Some(pipelined.goodput() / self.peak.goodput().max(1e-9))
     }
 
     /// Render the sweep as the `BENCH_serve.json` artifact.
@@ -74,12 +90,26 @@ impl Sweep {
         out.push_str(&format!("  \"cpus\": {},\n", self.cpus));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"duty_secs\": {},\n", fmt_f64(self.duty_secs)));
+        out.push_str(&format!("  \"pipeline_depth\": {},\n", self.pipeline_depth));
         out.push_str(&format!(
             "  \"peak\": {{\"goodput_ops_per_sec\": {}, \"p50_us\": {}, \"p99_us\": {}}},\n",
-            fmt_f64(self.peak_goodput()),
+            fmt_f64(self.peak.goodput()),
             self.peak.p50_us(),
             self.peak.p99_us()
         ));
+        if let Some(pipelined) = &self.peak_pipelined {
+            out.push_str(&format!(
+                "  \"peak_pipelined\": {{\"goodput_ops_per_sec\": {}, \"p50_us\": {}, \
+                 \"p99_us\": {}}},\n",
+                fmt_f64(pipelined.goodput()),
+                pipelined.p50_us(),
+                pipelined.p99_us()
+            ));
+            out.push_str(&format!(
+                "  \"pipeline_speedup\": {},\n",
+                fmt_f64(self.pipeline_speedup().unwrap_or(0.0))
+            ));
+        }
         out.push_str("  \"sweep\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             let r = &row.report;
@@ -122,9 +152,13 @@ fn fmt_f64(v: f64) -> String {
 
 /// Run the full sweep against `addr`.
 ///
-/// Phase order: one closed-loop calibration at base concurrency, then
-/// one open-loop phase per multiplier offering `multiplier × peak`
-/// scheduled ops/sec from `base.connections × multiplier` connections.
+/// Phase order: one closed-loop *serial* calibration at base
+/// concurrency; when `base.pipeline > 1`, a second closed-loop
+/// calibration at that depth (the side-by-side pair prices what
+/// pipelining buys); then one open-loop phase per multiplier offering
+/// `multiplier × effective peak` scheduled ops/sec from
+/// `base.connections × multiplier` connections, all at `base.pipeline`
+/// frames in flight.
 pub fn sweep(addr: SocketAddr, opts: &SweepOptions) -> Result<Sweep, LoadgenError> {
     if opts.multipliers.is_empty() {
         return Err(LoadgenError::Config("the sweep needs at least one multiplier".into()));
@@ -132,15 +166,26 @@ pub fn sweep(addr: SocketAddr, opts: &SweepOptions) -> Result<Sweep, LoadgenErro
     if opts.multipliers.contains(&0) {
         return Err(LoadgenError::Config("multiplier 0 offers no load".into()));
     }
-    let calibration =
-        LoadOptions { pacing: Pacing::Closed, ..opts.base.clone() };
+    let calibration = LoadOptions { pacing: Pacing::Closed, pipeline: 1, ..opts.base.clone() };
     let peak = run(addr, &calibration)?;
     if peak.ok == 0 {
         return Err(LoadgenError::Config(
             "calibration measured zero goodput; nothing to sweep against".into(),
         ));
     }
-    let peak_rate = peak.goodput();
+    let peak_pipelined = if opts.base.pipeline > 1 {
+        let deep = LoadOptions { pacing: Pacing::Closed, ..opts.base.clone() };
+        let report = run(addr, &deep)?;
+        if report.ok == 0 {
+            return Err(LoadgenError::Config(
+                "pipelined calibration measured zero goodput; nothing to sweep against".into(),
+            ));
+        }
+        Some(report)
+    } else {
+        None
+    };
+    let peak_rate = peak_pipelined.as_ref().unwrap_or(&peak).goodput();
 
     let mut rows = Vec::with_capacity(opts.multipliers.len());
     for &multiplier in &opts.multipliers {
@@ -165,7 +210,9 @@ pub fn sweep(addr: SocketAddr, opts: &SweepOptions) -> Result<Sweep, LoadgenErro
         seed: opts.base.seed,
         duty_secs: opts.base.duty.as_secs_f64(),
         cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        pipeline_depth: opts.base.pipeline,
         peak,
+        peak_pipelined,
         rows,
     })
 }
@@ -251,7 +298,9 @@ mod tests {
             seed: 7,
             duty_secs: 2.0,
             cpus: 1,
+            pipeline_depth: 1,
             peak,
+            peak_pipelined: None,
             rows: rows
                 .into_iter()
                 .map(|(multiplier, report)| SweepRow {
@@ -306,6 +355,36 @@ mod tests {
         let s = sweep_of(phase(1000, 0, 0, 2), vec![(4, phase(900, 0, 0, 600))]);
         let err = degradation_ok(&s, 0.7).unwrap_err();
         assert!(err.contains("overran"), "{err}");
+    }
+
+    #[test]
+    fn pipelined_calibration_sets_the_effective_peak() {
+        let mut s = sweep_of(phase(1000, 0, 0, 2), vec![(4, phase(1600, 2400, 0, 2))]);
+        s.pipeline_depth = 8;
+        s.peak_pipelined = Some(phase(2000, 0, 0, 2));
+        // The serial calibration stays reported as `peak`, but the
+        // effective peak — what the rows were priced against — is the
+        // pipelined one.
+        assert!((s.peak.goodput() - 500.0).abs() < 1e-9);
+        assert!((s.peak_goodput() - 1000.0).abs() < 1e-9);
+        assert!((s.pipeline_speedup().expect("speedup") - 2.0).abs() < 1e-9);
+        let json = s.to_json();
+        assert!(json.contains("\"pipeline_depth\": 8"));
+        assert!(json.contains("\"peak_pipelined\""));
+        assert!(json.contains("\"pipeline_speedup\": 2.0000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Degradation prices against the effective peak: 800/1000.
+        assert_eq!(degradation_ok(&s, 0.7), Ok(()));
+    }
+
+    #[test]
+    fn serial_sweeps_omit_the_pipelined_block() {
+        let s = sweep_of(phase(1000, 0, 0, 2), vec![(4, phase(800, 0, 0, 2))]);
+        assert!(s.pipeline_speedup().is_none());
+        let json = s.to_json();
+        assert!(json.contains("\"pipeline_depth\": 1"));
+        assert!(!json.contains("peak_pipelined"));
+        assert!(!json.contains("pipeline_speedup"));
     }
 
     #[test]

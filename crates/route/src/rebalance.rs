@@ -41,7 +41,8 @@ use std::time::Duration;
 
 use hmh_core::format;
 use hmh_replica::{fetch_digests, SyncError};
-use hmh_serve::{Client, ClientError, ClientOptions, MAX_SYNC_NAMES};
+use hmh_serve::proto::{Request, Response};
+use hmh_serve::{typed_response, Client, ClientError, ClientOptions, MAX_PIPELINE_DEPTH, MAX_SYNC_NAMES};
 use hmh_store::RetryPolicy;
 
 use crate::ring::{Ring, RingError};
@@ -263,10 +264,27 @@ fn handoff(
     if src_payloads.is_empty() {
         return Ok(Handoff::Vanished);
     }
+    // All source payloads stream to each destination as pipelined MERGE
+    // batches: one vectored write and one reply drain per window instead
+    // of a round trip per source replica. Safe to replay on failure —
+    // merge folds into a max-register lattice.
+    let merges: Vec<Request> = src_payloads
+        .values()
+        .map(|payload| Request::Merge { name: name.to_string(), sketch: payload.clone() })
+        .collect();
     for &dst in dst_replicas {
         let mut client = Client::with_options(dst, opts.client.clone());
-        for payload in src_payloads.values() {
-            client.merge_raw(name, payload)?;
+        for window in merges.chunks(MAX_PIPELINE_DEPTH) {
+            for reply in client.pipeline(window)? {
+                match typed_response(reply)? {
+                    Response::Ok => {}
+                    other => {
+                        return Err(RebalanceError::Client(ClientError::BadReply(format!(
+                            "unexpected MERGE reply during handoff of {name:?}: {other:?}"
+                        ))))
+                    }
+                }
+            }
         }
     }
 

@@ -37,10 +37,13 @@ use std::time::{Duration, Instant};
 
 use hmh_replica::PeerTracker;
 use hmh_serve::proto::{
-    decode_request_budget, encode_response, read_frame, write_frame, ErrCode, FrameError, Health,
-    Request, Response, MAX_FRAME_LEN, MAX_LIST_NAMES,
+    decode_request_budget, encode_response, write_frame, write_frames_vectored, ErrCode,
+    FrameBuffer, FrameError, Health, Request, Response, MAX_FRAME_LEN, MAX_LIST_NAMES,
+    MAX_PIPELINE_DEPTH,
 };
-use hmh_serve::{Client, ClientError, ClientOptions, FailoverClient, RetryBudget};
+use hmh_serve::{
+    typed_response, Client, ClientError, ClientOptions, FailoverClient, RetryBudget,
+};
 
 use crate::ring::Ring;
 
@@ -398,9 +401,16 @@ fn handle_connection(
     }
     let _ = stream.set_nodelay(true);
 
-    let mut first_request = true;
+    // Pipelined inbound loop, mirroring the daemon's: gather a batch —
+    // first frame blocking, then whatever else has already arrived, up
+    // to MAX_PIPELINE_DEPTH — process strictly in receipt order, flush
+    // all replies as one vectored write. A client that never pipelines
+    // degenerates to batches of one. Bounded by the socket deadlines,
+    // EOF, and the shutdown flag.
+    let mut frames = FrameBuffer::new();
+    let mut first_batch = true;
     loop {
-        let body = match read_frame(&mut stream, shared.opts.max_frame) {
+        let first = match frames.read_frame_buffered(&mut stream, shared.opts.max_frame) {
             Ok(Some(body)) => body,
             Ok(None) | Err(FrameError::Io(_)) => return,
             Err(FrameError::TooLarge { got, max }) => {
@@ -413,35 +423,81 @@ fn handle_connection(
             }
         };
 
-        shared.liveness.round.fetch_add(1, Ordering::Relaxed);
-        let (resp, close) = match decode_request_budget(&body) {
-            Ok((request, budget_ms)) => {
-                // Deadline propagation. The budget starts burning at
-                // accept for a connection's first request (queue wait is
-                // exactly the dead-work window); later keep-alive frames
-                // restart it at frame receipt, since inter-request time
-                // is client think-time, not queueing.
-                let burn_from = if first_request { queued_at } else { Instant::now() };
-                first_request = false;
-                let total = Duration::from_millis(u64::from(budget_ms));
-                if budget_ms > 0 && burn_from.elapsed() >= total {
-                    shared.expired.fetch_add(1, Ordering::Relaxed);
-                    (Response::Expired, false)
-                } else {
+        // Deadline propagation. Every frame of the *first* batch started
+        // burning at accept — a pipelined burst waits in the kernel
+        // while the connection waits in the queue; later batches burn
+        // from their own receipt, since inter-batch time is client
+        // think-time, not queueing.
+        let batch_epoch = if first_batch { queued_at } else { Instant::now() };
+        first_batch = false;
+
+        let mut batch = vec![first];
+        let mut poison: Option<Response> = None;
+        // Frames already buffered still deserve answers if this fails;
+        // the error resurfaces on the flush or the next blocking read.
+        let _ = frames.fill_nonblocking(&stream);
+        while batch.len() < MAX_PIPELINE_DEPTH {
+            match frames.take_frame(shared.opts.max_frame) {
+                Ok(Some(body)) => batch.push(body),
+                Ok(None) => break,
+                Err(FrameError::TooLarge { got, max }) => {
+                    // The lying prefix poisons the tail; earlier frames
+                    // in the batch still get their replies below.
+                    poison = Some(Response::Err {
+                        code: ErrCode::TooLarge,
+                        message: format!("frame length {got} exceeds maximum {max}"),
+                    });
+                    break;
+                }
+                // take_frame never touches the transport; satisfy the
+                // type by treating an Io as "no more frames".
+                Err(FrameError::Io(_)) => break,
+            }
+        }
+
+        let mut replies: Vec<Vec<u8>> = Vec::with_capacity(batch.len());
+        let mut close = false;
+        for body in batch {
+            shared.liveness.round.fetch_add(1, Ordering::Relaxed);
+            match decode_request_budget(&body) {
+                Ok((request, budget_ms)) => {
+                    let total = Duration::from_millis(u64::from(budget_ms));
+                    // Per-frame expiry at dispatch time: work done for
+                    // earlier frames of the batch counts against this
+                    // frame's budget, and an expired frame burns alone.
+                    if budget_ms > 0 && batch_epoch.elapsed() >= total {
+                        shared.expired.fetch_add(1, Ordering::Relaxed);
+                        replies.push(encode_response(&Response::Expired));
+                        continue;
+                    }
                     // Every scatter-gather leg below stamps the caller's
                     // *remaining* time, so fan-out never outlives them.
-                    let deadline = (budget_ms > 0).then(|| burn_from + total);
+                    let deadline = (budget_ms > 0).then(|| batch_epoch + total);
                     shards.set_deadline(deadline);
-                    handle_request(shared, shards, request)
+                    let (resp, close_after) = handle_request(shared, shards, request);
+                    replies.push(encode_response(&resp));
+                    if close_after {
+                        close = true;
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // Parse failures poison the tail; replies already
+                    // queued for earlier frames flush below.
+                    poison =
+                        Some(Response::Err { code: e.code(), message: e.to_string() });
+                    break;
                 }
             }
-            Err(e) => (Response::Err { code: e.code(), message: e.to_string() }, true),
-        };
-        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
-            return;
         }
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        if close || shared.shutdown.load(Ordering::SeqCst) {
+        if let Some(resp) = poison {
+            replies.push(encode_response(&resp));
+            close = true;
+        }
+
+        let flushed = write_frames_vectored(&mut stream, &replies).is_ok();
+        shared.served.fetch_add(replies.len() as u64, Ordering::Relaxed);
+        if !flushed || close || shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
     }
@@ -454,24 +510,15 @@ fn handle_request(
     shards: &mut ShardClients,
     request: Request,
 ) -> (Response, bool) {
+    // Name-keyed ops forward verbatim to the owner group over the
+    // pipelined submission path — the request frame was just decoded
+    // off this router's wire and goes back out byte-equivalent, so
+    // there is nothing to re-derive per op.
+    if let Some(name) = forward_key(&request) {
+        let name = name.to_string();
+        return (forward(shared, shards, &name, &request), false);
+    }
     let resp = match request {
-        Request::Put { name, sketch } => {
-            forward(shared, shards, &name, |fc| fc_expect_ok(fc.put_raw(&name, &sketch)))
-        }
-        Request::Merge { name, sketch } => {
-            forward(shared, shards, &name, |fc| fc_expect_ok(fc.merge_raw(&name, &sketch)))
-        }
-        Request::BatchPut { name, p, q, r, algorithm, seed, items } => {
-            forward(shared, shards, &name, |fc| {
-                fc_expect_ok(fc.batch_put_raw(&name, (p, q, r), algorithm, seed, &items))
-            })
-        }
-        Request::Get { name } => {
-            forward(shared, shards, &name, |fc| fc.get_raw(&name).map(Response::Sketch))
-        }
-        Request::Card { name } => {
-            forward(shared, shards, &name, |fc| fc.card(&name).map(Response::Value))
-        }
         Request::Jaccard { a, b } => jaccard(shared, shards, &a, &b),
         Request::List => scatter_list(shared, shards),
         Request::ListPage { after } => scatter_list_page(shared, shards, &after),
@@ -493,24 +540,53 @@ fn handle_request(
             shared.wake.notify_all();
             return (Response::Ok, true);
         }
+        // Name-keyed ops were forwarded above; the arm exists only to
+        // keep the match exhaustive without a panic path.
+        Request::Put { .. }
+        | Request::Merge { .. }
+        | Request::BatchPut { .. }
+        | Request::Get { .. }
+        | Request::Card { .. } => Response::Err {
+            code: ErrCode::Other(0x7e),
+            message: "name-keyed op fell through the forward path".into(),
+        },
     };
     (resp, false)
+}
+
+/// The owner-keyed name of an op the router forwards verbatim to one
+/// group, or `None` for scatter/local ops.
+fn forward_key(request: &Request) -> Option<&str> {
+    match request {
+        Request::Put { name, .. }
+        | Request::Merge { name, .. }
+        | Request::BatchPut { name, .. }
+        | Request::Get { name }
+        | Request::Card { name } => Some(name),
+        _ => None,
+    }
 }
 
 /// Forward a name-keyed op to the owner group, with liveness gating and
 /// typed degradation: a group in down-backoff, or one whose whole
 /// failover budget failed, answers `UNAVAILABLE` instead of hanging.
-fn forward(
-    shared: &Shared,
-    shards: &mut ShardClients,
-    name: &str,
-    op: impl FnOnce(&mut FailoverClient) -> Result<Response, ClientError>,
-) -> Response {
+///
+/// The forwarded frame rides the pipelined submission path — a depth-1
+/// batch per inbound frame today, but the same machinery
+/// [`Client::pipeline`] uses, so the length prefix and body coalesce
+/// into one vectored write and every per-slot reply maps back through
+/// the same typed surface the single-shot client methods use.
+fn forward(shared: &Shared, shards: &mut ShardClients, name: &str, request: &Request) -> Response {
     let group = shared.ring.owner_index(name);
     if !shared.liveness.should_attempt(group) {
         return unavailable(shared, group, "group is in down-backoff");
     }
-    let result = op(&mut shards.groups[group]);
+    let result = shards.groups[group]
+        .pipeline(std::slice::from_ref(request))
+        .and_then(|mut replies| match replies.pop() {
+            Some(reply) if replies.is_empty() => typed_response(reply),
+            _ => Err(ClientError::BadReply("expected exactly one pipelined reply".into())),
+        });
     respond(shared, group, result)
 }
 
@@ -598,7 +674,8 @@ fn jaccard(shared: &Shared, shards: &mut ShardClients, a: &str, b: &str) -> Resp
     let gb = shared.ring.owner_index(b);
     if ga == gb {
         // One group holds both: its daemon computes, one round-trip.
-        return forward(shared, shards, a, |fc| fc.jaccard(a, b).map(Response::Value));
+        let request = Request::Jaccard { a: a.to_string(), b: b.to_string() };
+        return forward(shared, shards, a, &request);
     }
     let sa = match fetch_decoded(shared, shards, ga, a) {
         Ok(sketch) => sketch,
@@ -821,6 +898,3 @@ fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
     }
 }
 
-fn fc_expect_ok(result: Result<(), ClientError>) -> Result<Response, ClientError> {
-    result.map(|()| Response::Ok)
-}

@@ -22,7 +22,10 @@ use std::time::{Duration, Instant};
 
 use hmh_core::{HmhParams, HyperMinHash};
 use hmh_route::{route, Ring, RingConfig, RouteOptions};
-use hmh_serve::{serve, Client, ClientError, ClientOptions, ErrCode, ServeOptions, ServerHandle};
+use hmh_serve::{
+    serve, Client, ClientError, ClientOptions, ErrCode, FailoverClient, Request, Response,
+    ServeOptions, ServerHandle,
+};
 use hmh_store::{RetryPolicy, StoreOptions};
 
 struct TempDir(PathBuf);
@@ -287,6 +290,109 @@ fn flapping_group_costs_bounded_dials_and_recovers() {
     }
 
     router.join();
+    proxy.stop();
+    for node in nodes {
+        node.shutdown();
+        node.join();
+    }
+}
+
+/// The pipelined variant of the storm contract: a replica that drops
+/// the connection with a pipeline half-drained fails the *whole batch*
+/// over to the next replica (safe: every HMS1 op is idempotent), and
+/// batch depth buys no dial amplification — a depth-8 batch pays the
+/// same bounded failover costs as a single op, not 8× them.
+#[test]
+fn flapping_replica_drops_a_half_full_pipeline_without_dial_amplification() {
+    let dirs: Vec<TempDir> = ["pipe-a", "pipe-b"].iter().map(|t| TempDir::new(t)).collect();
+    let nodes: Vec<ServerHandle> = dirs.iter().map(start).collect();
+    // Replica 0 is reached through the flappable proxy; replica 1 is
+    // direct and stays healthy.
+    let proxy = Proxy::start(nodes[0].addr());
+
+    // Both replicas (independent stores) carry the same names.
+    let names: Vec<String> = (0..8).map(|i| format!("pipe/s{i}")).collect();
+    for node in &nodes {
+        let mut c = Client::connect(node.addr());
+        for (i, name) in names.iter().enumerate() {
+            c.put(name, &sketch(i as u64, i as u64 + 50)).unwrap();
+        }
+    }
+
+    let shard_opts = ClientOptions {
+        connect_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        retry: RetryPolicy::none(),
+        ..ClientOptions::default()
+    };
+    let mut fc =
+        FailoverClient::with_options(&[proxy.addr, nodes[1].addr()], shard_opts.clone(), 3);
+    let batch: Vec<Request> = names.iter().map(|n| Request::Card { name: n.clone() }).collect();
+
+    // Baseline: the full window rides the forwarding proxy.
+    let replies = fc.pipeline(&batch).unwrap();
+    assert_eq!(replies.len(), batch.len());
+    assert!(replies.iter().all(|r| matches!(r, Response::Value(_))), "{replies:?}");
+
+    // The flap. Entering FLAP resets the live pipe, so the very next
+    // batch is written into a dying connection — the half-drained
+    // pipeline shape — and every reconnect is accept-then-dropped.
+    proxy.set_mode(FLAP);
+    let dials_before = proxy.accepts();
+    let started = Instant::now();
+    const STORM_BATCHES: usize = 30;
+    let mut served = 0usize;
+    for round in 0..STORM_BATCHES {
+        match fc.pipeline(&batch) {
+            Ok(replies) => {
+                // Whole-batch failover: never a short window, never a
+                // stale slot from the dead replica spliced in.
+                assert_eq!(replies.len(), batch.len(), "round {round}: short batch");
+                assert!(
+                    replies.iter().all(|r| matches!(r, Response::Value(_))),
+                    "round {round}: wrong replies {replies:?}"
+                );
+                served += 1;
+            }
+            Err(
+                ClientError::RetryBudgetExhausted | ClientError::BreakerOpen { .. },
+            ) => {}
+            Err(other) => panic!("round {round}: untyped pipelined failure: {other}"),
+        }
+    }
+    let dials = proxy.accepts() - dials_before;
+    assert!(served >= STORM_BATCHES / 2, "healthy replica served only {served} batches");
+    // The bound: unmitigated, 30 batches × (1 dial + 8 frames) could
+    // re-dial the flapper every round — or worse, once per undrained
+    // frame. The breaker pins it to the first failures plus spaced
+    // probes, exactly as for single ops.
+    assert!(
+        dials <= 15,
+        "flapping replica cost {dials} dials over {STORM_BATCHES} pipelined batches"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "{STORM_BATCHES} batches took {:?} under the flap",
+        started.elapsed()
+    );
+
+    // Recovery: once the flapping stops, a client pointed *only* at the
+    // recovered replica drains full windows again.
+    proxy.set_mode(FORWARD);
+    let mut direct = FailoverClient::with_options(&[proxy.addr], shard_opts, 2);
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        if let Ok(replies) = direct.pipeline(&batch) {
+            assert_eq!(replies.len(), batch.len());
+            recovered = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(100));
+    }
+    assert!(recovered, "the flapped replica never served a pipeline after recovery");
+
     proxy.stop();
     for node in nodes {
         node.shutdown();

@@ -24,9 +24,9 @@ use hmh_hash::RandomOracle;
 use hmh_store::RetryPolicy;
 
 use crate::proto::{
-    decode_response, encode_request_budget, read_frame, write_frame, DigestEntry, ErrCode,
-    FrameError, Health, Request, Response, SyncEntry, MAX_BATCH_ITEMS, MAX_BUDGET_MS,
-    MAX_FRAME_LEN, MAX_ITEM_LEN,
+    decode_response, encode_request_budget, read_frame, write_frame, write_frames_vectored,
+    DigestEntry, ErrCode, FrameError, Health, Request, Response, SyncEntry, MAX_BATCH_ITEMS,
+    MAX_BUDGET_MS, MAX_FRAME_LEN, MAX_ITEM_LEN, MAX_PIPELINE_DEPTH,
 };
 
 /// A shared token-bucket retry budget (Finagle-style): retries across a
@@ -243,6 +243,17 @@ pub enum ClientError {
         /// The protocol maximum.
         max: usize,
     },
+    /// A pipelined submission asked for more in-flight frames than
+    /// [`MAX_PIPELINE_DEPTH`] allows. Refused typed *before any bytes
+    /// move*: writing a deeper batch without draining replies can
+    /// deadlock the connection on full kernel buffers, and a hang is
+    /// the one failure mode this protocol never accepts.
+    PipelineOverflow {
+        /// Frames the caller tried to put in flight.
+        submitted: usize,
+        /// The [`MAX_PIPELINE_DEPTH`] ceiling.
+        max: usize,
+    },
     /// The server's reply could not be parsed (version skew or a
     /// corrupted stream).
     BadReply(String),
@@ -292,6 +303,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::ItemTooLarge { len, max } => {
                 write!(f, "batch item is {len} bytes; the protocol caps items at {max}")
+            }
+            ClientError::PipelineOverflow { submitted, max } => {
+                write!(f, "pipeline of {submitted} frames exceeds the depth cap of {max}")
             }
             ClientError::BadReply(detail) => write!(f, "unparseable server reply: {detail}"),
             ClientError::Format(e) => write!(f, "sketch payload: {e}"),
@@ -475,8 +489,9 @@ impl Client {
         if chunks.is_empty() {
             chunks.push(&[]);
         }
-        for chunk in chunks {
-            let request = Request::BatchPut {
+        let requests: Vec<Request> = chunks
+            .iter()
+            .map(|chunk| Request::BatchPut {
                 name: name.to_string(),
                 p: widths[0],
                 q: widths[1],
@@ -484,10 +499,18 @@ impl Client {
                 algorithm,
                 seed: oracle.seed(),
                 items: chunk.iter().map(|item| item.to_vec()).collect(),
-            };
-            match self.request(&request)? {
-                Response::Ok => {}
-                other => return Err(unexpected(other, name)),
+            })
+            .collect();
+        // Multi-frame streams ride the pipeline: up to MAX_PIPELINE_DEPTH
+        // chunk frames in flight per round trip instead of one. Safe to
+        // replay whole batches on transient failures — item insertion is
+        // idempotent.
+        for window in requests.chunks(MAX_PIPELINE_DEPTH) {
+            for resp in self.pipeline(window)? {
+                match typed_response(resp)? {
+                    Response::Ok => {}
+                    other => return Err(unexpected(other, name)),
+                }
             }
         }
         Ok(())
@@ -669,6 +692,94 @@ impl Client {
         self.addr
     }
 
+    /// Submit up to [`MAX_PIPELINE_DEPTH`] requests as one pipelined
+    /// batch: all frames leave in a single vectored write, and the
+    /// replies come back strictly in request order (ordering is the
+    /// protocol's correlation mechanism — there are no tags).
+    ///
+    /// Returns the decoded reply for each request, *including* typed
+    /// per-op conditions (`Response::Expired`, `Response::ReadOnly`,
+    /// `Response::Err`) in their slots, so one op's refusal never hides
+    /// its neighbors' results; apply [`typed_response`] per slot for
+    /// single-shot semantics. Call-level errors cover what fails the
+    /// whole batch: transport failures after retries, a BUSY shed, a
+    /// spent deadline, and [`ClientError::PipelineOverflow`] for a
+    /// batch deeper than the cap (refused before any bytes move — a
+    /// deeper write without draining replies can deadlock on full
+    /// kernel buffers).
+    ///
+    /// Transient failures retry the *whole batch* under the configured
+    /// backoff policy, which is safe for the same reason single-op
+    /// retries are: every operation is idempotent. A pinned deadline
+    /// (or [`ClientOptions::op_budget`]) stamps each attempt's
+    /// remaining budget on every frame of the batch.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        if requests.len() > MAX_PIPELINE_DEPTH {
+            return Err(ClientError::PipelineOverflow {
+                submitted: requests.len(),
+                max: MAX_PIPELINE_DEPTH,
+            });
+        }
+        let deadline = self.deadline.or_else(|| self.opts.op_budget.map(|b| Instant::now() + b));
+        let budget = self.opts.budget.clone();
+        // Without a deadline the bodies are attempt-invariant: encode once.
+        let flat_bodies: Option<Vec<Vec<u8>>> = if deadline.is_none() {
+            Some(requests.iter().map(|r| encode_request_budget(r, 0)).collect())
+        } else {
+            None
+        };
+        let mut retry = self.opts.retry.clone();
+        let result = retry.run_gated(
+            |_attempt| {
+                let bodies = if let Some(bodies) = &flat_bodies {
+                    bodies.clone()
+                } else {
+                    let d = deadline
+                        .expect("invariant: flat_bodies is None only when a deadline is set");
+                    let Some(ms) = remaining_budget_ms(d) else {
+                        return Err(expired_error());
+                    };
+                    requests.iter().map(|r| encode_request_budget(r, ms)).collect()
+                };
+                self.exchange_pipelined(&bodies)
+            },
+            || match &budget {
+                Some(b) if !b.try_spend() => Err(budget_error()),
+                _ => Ok(()),
+            },
+        );
+        match result {
+            Ok(frames) => {
+                // One deposit per wire exchange, not per frame: the
+                // budget prices exchanges, and a batch is one exchange.
+                if let Some(b) = &budget {
+                    b.record_success();
+                }
+                let mut replies = Vec::with_capacity(frames.len());
+                for frame in &frames {
+                    match decode_response(frame) {
+                        Ok(resp) => replies.push(resp),
+                        Err(e) => {
+                            // An unparseable reply poisons the stream;
+                            // reconnect next call rather than guessing
+                            // at framing.
+                            self.conn = None;
+                            return Err(ClientError::BadReply(e.to_string()));
+                        }
+                    }
+                }
+                Ok(replies)
+            }
+            Err(e) if is_busy(&e) => Err(ClientError::Busy),
+            Err(e) if is_expired(&e) => Err(ClientError::Expired),
+            Err(e) if is_budget_denial(&e) => Err(ClientError::RetryBudgetExhausted),
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
     /// Send one request, retrying transient transport failures and BUSY
     /// sheds under the configured backoff policy. When a deadline is
     /// pinned (or [`ClientOptions::op_budget`] set), every attempt
@@ -740,14 +851,7 @@ impl Client {
     }
 
     fn try_exchange(&mut self, body: &[u8]) -> io::Result<Vec<u8>> {
-        if self.conn.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addr, self.opts.connect_timeout)?;
-            stream.set_read_timeout(Some(self.opts.read_timeout))?;
-            stream.set_write_timeout(Some(self.opts.write_timeout))?;
-            let _ = stream.set_nodelay(true);
-            self.conn = Some(stream);
-        }
-        let conn = self.conn.as_mut().expect("invariant: connection established above");
+        let conn = self.ensure_conn()?;
         write_frame(conn, body)?;
         conn.flush()?;
         match read_frame(conn, MAX_FRAME_LEN) {
@@ -773,18 +877,78 @@ impl Client {
         }
     }
 
+    /// One pipelined wire exchange: all request frames in one vectored
+    /// write, then every reply read back in order. Like [`exchange`],
+    /// any failure drops the cached connection — a half-drained pipeline
+    /// is never reused.
+    ///
+    /// [`exchange`]: Client::exchange
+    fn exchange_pipelined(&mut self, bodies: &[Vec<u8>]) -> io::Result<Vec<Vec<u8>>> {
+        let result = self.try_exchange_pipelined(bodies).map_err(reclassify_disconnect);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn try_exchange_pipelined(&mut self, bodies: &[Vec<u8>]) -> io::Result<Vec<Vec<u8>>> {
+        let conn = self.ensure_conn()?;
+        write_frames_vectored(conn, bodies)?;
+        let mut frames = Vec::with_capacity(bodies.len());
+        for drained in 0..bodies.len() {
+            match read_frame(conn, MAX_FRAME_LEN) {
+                Ok(Some(frame)) => {
+                    // A BUSY shed precedes any frame processing, so it
+                    // can only be the first reply — but check every slot
+                    // so a misbehaving server still maps to a transient
+                    // error instead of a confusing per-op result.
+                    if decode_response(&frame) == Ok(Response::Busy) {
+                        self.conn = None;
+                        return Err(busy_error());
+                    }
+                    frames.push(frame);
+                }
+                // EOF with replies outstanding: the server hung up (or
+                // poisoned the tail for a frame we believed well-formed).
+                // Transient — the whole batch is retried, which is safe
+                // because every operation is idempotent.
+                Ok(None) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        format!(
+                            "server closed the connection mid-pipeline \
+                             ({drained} of {} replies drained)",
+                            bodies.len()
+                        ),
+                    ))
+                }
+                Err(FrameError::Io(e)) => return Err(e),
+                Err(FrameError::TooLarge { got, max }) => {
+                    return Err(io::Error::other(format!(
+                        "server sent an oversized frame ({got} > {max} bytes)"
+                    )))
+                }
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Cached connection, dialing a fresh one if needed.
+    fn ensure_conn(&mut self) -> io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.opts.connect_timeout)?;
+            stream.set_read_timeout(Some(self.opts.read_timeout))?;
+            stream.set_write_timeout(Some(self.opts.write_timeout))?;
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().expect("invariant: connection established above"))
+    }
+
     /// Map a decoded reply onto the typed result surface.
     fn interpret(&mut self, frame: &[u8]) -> Result<Response, ClientError> {
         match decode_response(frame) {
-            Ok(Response::ReadOnly) => Err(ClientError::ReadOnly),
-            // Final, not retried: a deadline that expired server-side
-            // has expired for every future attempt too.
-            Ok(Response::Expired) => Err(ClientError::Expired),
-            Ok(Response::Err { code: ErrCode::NotFound, message }) => {
-                Err(ClientError::NotFound(extract_name(&message)))
-            }
-            Ok(Response::Err { code, message }) => Err(ClientError::Server { code, message }),
-            Ok(resp) => Ok(resp),
+            Ok(resp) => typed_response(resp),
             Err(e) => {
                 // An unparseable reply poisons the stream; reconnect next
                 // call rather than guessing at framing.
@@ -792,6 +956,27 @@ impl Client {
                 Err(ClientError::BadReply(e.to_string()))
             }
         }
+    }
+}
+
+/// Map one decoded reply onto the typed result surface the single-shot
+/// [`Client`] methods use: READ_ONLY, EXPIRED, NOT_FOUND and server
+/// errors become their [`ClientError`] variants, everything else passes
+/// through. [`Client::pipeline`] deliberately does *not* apply this per
+/// slot — one op's typed refusal must not hide its neighbors' results —
+/// so callers that want single-shot semantics per slot apply it
+/// themselves.
+pub fn typed_response(resp: Response) -> Result<Response, ClientError> {
+    match resp {
+        Response::ReadOnly => Err(ClientError::ReadOnly),
+        // Final, not retried: a deadline that expired server-side has
+        // expired for every future attempt too.
+        Response::Expired => Err(ClientError::Expired),
+        Response::Err { code: ErrCode::NotFound, message } => {
+            Err(ClientError::NotFound(extract_name(&message)))
+        }
+        Response::Err { code, message } => Err(ClientError::Server { code, message }),
+        resp => Ok(resp),
     }
 }
 
@@ -980,6 +1165,27 @@ impl FailoverClient {
         items: &[Vec<u8>],
     ) -> Result<(), ClientError> {
         self.with_failover(|c| c.batch_put_raw(name, widths, algorithm, seed, items))
+    }
+
+    /// Submit a pipelined batch to whichever replica answers (see
+    /// [`Client::pipeline`]). A replica that drops the connection with
+    /// the pipeline half-drained fails the *whole batch* over to the
+    /// next replica — safe because every operation is idempotent — and
+    /// the rotation pays the same breaker and retry-budget costs as any
+    /// other failover, so a flapping replica cannot turn batch depth
+    /// into dial amplification.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        self.with_failover(|c| {
+            let replies = c.pipeline(requests)?;
+            // A READ_ONLY slot means this replica is in degraded mode —
+            // exactly what single-op failover rotates on. Fail the whole
+            // batch over so another replica can take the writes; reads
+            // in the batch merely replay.
+            if replies.iter().any(|r| matches!(r, Response::ReadOnly)) {
+                return Err(ClientError::ReadOnly);
+            }
+            Ok(replies)
+        })
     }
 
     /// Cardinality estimate from whichever replica answers.

@@ -18,11 +18,21 @@
 //! bounded chunks, so memory grows only with bytes a peer actually
 //! sends, never with what its header merely claims.
 //!
-//! The protocol is deliberately request/response over one connection
-//! (no pipelining): the server reads one frame, writes one frame. That
-//! keeps the failure matrix — truncation, garbage, deadline, disconnect
-//! at any byte — small enough to test exhaustively; see
-//! `crates/serve/tests/chaos.rs`.
+//! Connections are *pipelined*: a client may have up to
+//! [`MAX_PIPELINE_DEPTH`] request frames in flight on one connection,
+//! and the server processes them strictly in receipt order and replies
+//! in the same order — there are no tags or sequence numbers on the
+//! wire, so ordering IS the correlation mechanism. Replies for one
+//! batch are coalesced into a single vectored write
+//! ([`write_frames_vectored`]): length prefixes and bodies become one
+//! syscall instead of 2·k. Error handling is asymmetric by design: a
+//! malformed frame poisons only the *tail* of its connection (replies
+//! already queued for earlier frames are flushed, then the typed error,
+//! then the connection closes), while transport failures drop the
+//! connection outright. The failure matrix — truncation, garbage,
+//! deadline, disconnect at any byte, now at any pipeline depth — is
+//! pinned by `crates/serve/tests/chaos.rs` and
+//! `crates/serve/tests/pipeline.rs`.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -58,6 +68,20 @@ pub const MAX_FRAME_LEN: usize = MAX_ENCODED_LEN + 2 * MAX_NAME_LEN + 64;
 /// Chunk size for reading frame bodies: allocation tracks received
 /// bytes, not declared lengths.
 const READ_CHUNK: usize = 64 * 1024;
+
+/// Maximum request frames a client may have in flight on one connection
+/// before reading any reply. The server guarantees in-order replies at
+/// any depth it actually receives, but a client that writes more than
+/// this many frames without draining replies can deadlock *itself*
+/// (both sides blocked on full kernel buffers), so the client API
+/// refuses deeper batches with a typed error instead of hanging.
+pub const MAX_PIPELINE_DEPTH: usize = 32;
+
+/// Cap on bytes [`FrameBuffer::fill_nonblocking`] will buffer ahead of
+/// processing. Batching is opportunistic: frames beyond the cap simply
+/// wait in the kernel for the next batch, so the cap bounds per-
+/// connection memory without affecting correctness.
+const PIPELINE_FILL_CAP: usize = 4 * READ_CHUNK;
 
 /// Maximum items in one `BATCH_PUT` frame. Together with
 /// [`MAX_ITEM_LEN`] this keeps a maximal batch (≈ 16 MiB) well under
@@ -573,9 +597,46 @@ impl std::error::Error for FrameError {
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     assert!(body.len() <= MAX_FRAME_LEN, "invariant: encoders cap frame bodies");
     let len = u32::try_from(body.len()).expect("invariant: MAX_FRAME_LEN < u32::MAX");
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(body)?;
+    // Prefix and body coalesce into one vectored write: one syscall per
+    // frame on an unbuffered socket, not two.
+    write_all_vectored(w, &[&len.to_le_bytes(), body])?;
     w.flush()
+}
+
+/// Write every segment, in order, completely — the vectored analogue of
+/// `write_all`. Uses `write_vectored` so adjacent segments share a
+/// syscall; transports without real vectored I/O fall back through
+/// `Write::write_vectored`'s default implementation (a plain `write` of
+/// the first non-empty segment), and short writes, `EINTR`, and the
+/// fallback all converge on the same resume path: re-slice from the
+/// current offset and continue.
+fn write_all_vectored(w: &mut impl Write, segments: &[&[u8]]) -> io::Result<()> {
+    let total: usize = segments.iter().map(|s| s.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        // Rebuild the slice list from the current offset each pass.
+        // O(segments) per resume, but resumes only happen on short
+        // writes; the common case is a single pass.
+        let mut skip = written;
+        let mut slices: Vec<io::IoSlice<'_>> = Vec::with_capacity(segments.len());
+        for seg in segments {
+            if skip >= seg.len() {
+                skip -= seg.len();
+            } else {
+                slices.push(io::IoSlice::new(&seg[skip..]));
+                skip = 0;
+            }
+        }
+        match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "failed to write frames"))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Read one frame body. `Ok(None)` on clean EOF at a frame boundary;
@@ -599,7 +660,15 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, Fram
     let mut remaining = len;
     while remaining > 0 {
         let want = remaining.min(READ_CHUNK);
-        let n = r.read(&mut chunk[..want]).map_err(FrameError::Io)?;
+        // EINTR is a retry, not a failure — the same discipline
+        // `read_exact_or_eof` applies to the prefix. Without it a
+        // signal delivered mid-body (timer, SIGCHLD) tears down a
+        // healthy connection and the half-read body with it.
+        let n = match r.read(&mut chunk[..want]) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        };
         if n == 0 {
             return Err(FrameError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -631,6 +700,185 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
         }
     }
     Ok(true)
+}
+
+/// Write a batch of frames (each length prefix + body) as one vectored
+/// write, then flush.
+///
+/// All 2·k segments — prefixes interleaved with bodies — are handed to
+/// `write_vectored` together, so a batch of small frames costs one
+/// syscall instead of 2·k. Transports without real vectored I/O are
+/// covered by `Write::write_vectored`'s default implementation, which
+/// degrades to a plain `write` of the first non-empty segment; the
+/// outer loop then re-slices from the new offset, so short writes,
+/// `EINTR`, and the fallback all converge on the same resume path.
+///
+/// # Panics
+/// If any body exceeds [`MAX_FRAME_LEN`]; encoders cap every field, so
+/// a larger body is a bug in this crate, not input-dependent.
+pub fn write_frames_vectored(w: &mut impl Write, bodies: &[Vec<u8>]) -> io::Result<()> {
+    if bodies.is_empty() {
+        return Ok(());
+    }
+    let mut prefixes = Vec::with_capacity(bodies.len());
+    for body in bodies {
+        assert!(body.len() <= MAX_FRAME_LEN, "invariant: encoders cap frame bodies");
+        let len = u32::try_from(body.len()).expect("invariant: MAX_FRAME_LEN < u32::MAX");
+        prefixes.push(len.to_le_bytes());
+    }
+    let mut segments: Vec<&[u8]> = Vec::with_capacity(bodies.len() * 2);
+    for (prefix, body) in prefixes.iter().zip(bodies) {
+        segments.push(prefix);
+        segments.push(body);
+    }
+    write_all_vectored(w, &segments)?;
+    w.flush()
+}
+
+/// A per-connection frame reassembly buffer: the read side of
+/// pipelining.
+///
+/// Holds bytes received but not yet consumed, so one `read` syscall
+/// that happens to deliver several small frames (a client's vectored
+/// burst typically arrives this way on localhost) yields them all
+/// without further syscalls. [`read_frame_buffered`] is the blocking
+/// path (semantically identical to [`read_frame`], buffer-aware);
+/// [`fill_nonblocking`] opportunistically pulls whatever has already
+/// arrived so a server can drain a batch without ever blocking on a
+/// frame that was never sent.
+///
+/// [`read_frame_buffered`]: FrameBuffer::read_frame_buffered
+/// [`fill_nonblocking`]: FrameBuffer::fill_nonblocking
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes received but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Drop consumed bytes so the buffer tracks outstanding data only.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Pop one frame if a complete one is buffered; `Ok(None)` when the
+    /// buffer holds no complete frame (empty or a partial tail), without
+    /// touching the transport. A buffered lying length prefix surfaces
+    /// as [`FrameError::TooLarge`] exactly as [`read_frame`] would.
+    pub fn take_frame(&mut self, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > max {
+            return Err(FrameError::TooLarge { got: len, max });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(body))
+    }
+
+    /// Read one frame through the buffer, blocking until a complete
+    /// frame, clean EOF, or transport error. Same contract as
+    /// [`read_frame`]: `Ok(None)` on EOF at a frame boundary (nothing
+    /// buffered), `TooLarge` before any body bytes are believed, I/O
+    /// errors (timeouts, EOF inside a frame) as [`FrameError::Io`].
+    pub fn read_frame_buffered(
+        &mut self,
+        r: &mut impl Read,
+        max: usize,
+    ) -> Result<Option<Vec<u8>>, FrameError> {
+        // Bounded by the transport: each pass either yields a buffered
+        // frame or performs one read, which a caller's socket timeout
+        // or EOF terminates.
+        loop {
+            if let Some(body) = self.take_frame(max)? {
+                return Ok(Some(body));
+            }
+            self.compact();
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK, 0);
+            match r.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    return if self.buffered() == 0 {
+                        Ok(None)
+                    } else {
+                        Err(FrameError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("frame truncated: EOF with {old} bytes buffered"),
+                        )))
+                    };
+                }
+                Ok(n) => self.buf.truncate(old + n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => self.buf.truncate(old),
+                Err(e) => {
+                    self.buf.truncate(old);
+                    return Err(FrameError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Pull whatever bytes have *already arrived* on `stream` into the
+    /// buffer without blocking, up to an internal cap
+    /// (`PIPELINE_FILL_CAP`) that bounds per-connection memory. The
+    /// socket is flipped to non-blocking for the duration and restored
+    /// before returning. EOF observed here is not an error — buffered
+    /// frames are still served, and the next blocking read reports it.
+    pub fn fill_nonblocking(&mut self, stream: &std::net::TcpStream) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let filled = self.fill_until_would_block(stream);
+        let restored = stream.set_nonblocking(false);
+        filled.and(restored)
+    }
+
+    fn fill_until_would_block(&mut self, stream: &std::net::TcpStream) -> io::Result<()> {
+        let mut r: &std::net::TcpStream = stream;
+        while self.buffered() < PIPELINE_FILL_CAP {
+            self.compact();
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK, 0);
+            match r.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    return Ok(());
+                }
+                Ok(n) => self.buf.truncate(old + n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.buf.truncate(old);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => self.buf.truncate(old),
+                Err(e) => {
+                    self.buf.truncate(old);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -40,9 +40,9 @@ use hmh_hash::RandomOracle;
 use hmh_store::{FileBackend, SketchStore, StoreError, StoreOptions};
 
 use crate::proto::{
-    decode_request_budget, encode_response, read_frame, write_frame, DigestEntry, ErrCode,
-    FrameError, Health, PeerHealth, Request, Response, SyncEntry, MAX_DIGEST_ENTRIES,
-    MAX_FRAME_LEN, MAX_LIST_NAMES, MAX_SYNC_NAMES,
+    decode_request_budget, encode_response, write_frame, write_frames_vectored, DigestEntry,
+    ErrCode, FrameBuffer, FrameError, Health, PeerHealth, Request, Response, SyncEntry,
+    MAX_DIGEST_ENTRIES, MAX_FRAME_LEN, MAX_LIST_NAMES, MAX_PIPELINE_DEPTH, MAX_SYNC_NAMES,
 };
 
 /// Daemon configuration.
@@ -349,9 +349,18 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, queued_at: Instant)
     }
     let _ = stream.set_nodelay(true);
 
-    let mut first_request = true;
+    // Pipelined connection loop: each pass gathers one *batch* — the
+    // first frame read blocking (the connection's idle state), then
+    // every further complete frame that has already arrived, up to
+    // MAX_PIPELINE_DEPTH — processes the batch strictly in receipt
+    // order, and flushes all replies as one vectored write. A client
+    // that never pipelines degenerates to batches of one, byte-for-byte
+    // the old request/response behavior. The loop is bounded by the
+    // socket deadlines, EOF, and the shutdown flag.
+    let mut frames = FrameBuffer::new();
+    let mut first_batch = true;
     loop {
-        let body = match read_frame(&mut stream, shared.opts.max_frame) {
+        let first = match frames.read_frame_buffered(&mut stream, shared.opts.max_frame) {
             Ok(Some(body)) => body,
             // Clean EOF, deadline, reset, or truncation: hang up. The
             // peer is gone or hostile; there is no one to answer.
@@ -369,55 +378,111 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, queued_at: Instant)
             }
         };
 
-        let (resp, disposition) = match decode_request_budget(&body) {
-            // Dequeue-time expiry: the first request's wait began at
-            // accept, so elapsed-since-queue IS the dead-work window a
-            // deadline budget exists to cut off. Answer a typed EXPIRED
-            // and do none of the work — the caller has already given up
-            // on this result. Later keep-alive frames skip the check:
-            // elapsed time would include client think-time between
-            // requests, which is not queueing delay.
-            Ok((_request, budget_ms))
-                if first_request
-                    && budget_ms > 0
-                    && queued_at.elapsed() >= Duration::from_millis(u64::from(budget_ms)) =>
-            {
-                shared.expired.fetch_add(1, Ordering::Relaxed);
-                (Response::Expired, Disposition::KeepAlive)
+        // The wait of every frame in the *first* batch began at accept:
+        // a pipelined burst sits in the kernel while the connection sits
+        // in the queue, so elapsed-since-queue is the dead-work window
+        // for all of them. Later batches measure from their own receipt
+        // — client think-time between batches is not queueing delay.
+        let batch_epoch = if first_batch { queued_at } else { Instant::now() };
+        first_batch = false;
+
+        // Opportunistic drain: whatever else has already arrived, up to
+        // the depth cap. Never blocks — a lone frame stays a batch of
+        // one. Excess frames beyond the cap wait their turn in the
+        // buffer/kernel; depth overflow degrades to smaller batches,
+        // never to a hang or a dropped frame.
+        let mut batch = vec![first];
+        let mut poison: Option<Response> = None;
+        // A transport error mid-drain is ignored here: frames already
+        // buffered still deserve answers, and the failure resurfaces on
+        // the reply flush or the next blocking read.
+        let _ = frames.fill_nonblocking(&stream);
+        while batch.len() < MAX_PIPELINE_DEPTH {
+            match frames.take_frame(shared.opts.max_frame) {
+                Ok(Some(body)) => batch.push(body),
+                Ok(None) => break,
+                Err(FrameError::TooLarge { got, max }) => {
+                    // The lying prefix poisons the tail: earlier frames
+                    // in this batch still get their replies below.
+                    poison = Some(Response::Err {
+                        code: ErrCode::TooLarge,
+                        message: format!("frame length {got} exceeds maximum {max}"),
+                    });
+                    break;
+                }
+                // take_frame never touches the transport; satisfy the
+                // type by treating an Io as "no more frames".
+                Err(FrameError::Io(_)) => break,
             }
-            Ok((request, _budget_ms)) => handle_request(shared, request),
-            Err(e) => (
-                Response::Err { code: e.code(), message: e.to_string() },
-                // Parse failures close the connection: the peer either
-                // speaks a different protocol version or is garbage.
-                Disposition::Close,
-            ),
-        };
-        first_request = false;
-        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
-            return;
         }
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        match disposition {
-            Disposition::Close => return,
-            Disposition::Shutdown => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.wake.notify_all();
-                return;
-            }
-            Disposition::KeepAlive => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    // Draining: finish this request, no further ones.
-                    return;
+
+        // Process in receipt order; replies queue in the same order.
+        // The reply queue is bounded by construction: one reply per
+        // batch frame, and batches are depth-capped.
+        let mut replies: Vec<Vec<u8>> = Vec::with_capacity(batch.len());
+        let mut close = false;
+        let mut shutdown = false;
+        for body in batch {
+            match decode_request_budget(&body) {
+                // Dequeue-time expiry, per frame: the check runs when
+                // the frame is *about to be executed*, so time spent on
+                // earlier frames of the batch counts against its
+                // budget. An expired frame burns alone — a typed
+                // EXPIRED in its reply slot, and processing continues
+                // with the next frame.
+                Ok((_request, budget_ms))
+                    if budget_ms > 0
+                        && batch_epoch.elapsed()
+                            >= Duration::from_millis(u64::from(budget_ms)) =>
+                {
+                    shared.expired.fetch_add(1, Ordering::Relaxed);
+                    replies.push(encode_response(&Response::Expired));
+                }
+                Ok((request, _budget_ms)) => {
+                    let (resp, disposition) = handle_request(shared, request);
+                    replies.push(encode_response(&resp));
+                    match disposition {
+                        Disposition::KeepAlive => {}
+                        Disposition::Shutdown => {
+                            shutdown = true;
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Parse failures poison the tail: the peer either
+                    // speaks a different protocol version or is
+                    // garbage, and resynchronizing after it is
+                    // guesswork. Replies already queued for earlier
+                    // frames are flushed below — never discarded.
+                    poison =
+                        Some(Response::Err { code: e.code(), message: e.to_string() });
+                    break;
                 }
             }
+        }
+        if let Some(resp) = poison {
+            replies.push(encode_response(&resp));
+            close = true;
+        }
+
+        let flushed = write_frames_vectored(&mut stream, &replies).is_ok();
+        shared.served.fetch_add(replies.len() as u64, Ordering::Relaxed);
+        if shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.wake.notify_all();
+            return;
+        }
+        if !flushed || close || shared.shutdown.load(Ordering::SeqCst) {
+            // Write failure, poisoned tail, or draining: this batch was
+            // the connection's last.
+            return;
         }
     }
 }
 
 enum Disposition {
     KeepAlive,
-    Close,
     Shutdown,
 }
 
@@ -692,6 +757,7 @@ fn clamp_u32(n: usize) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::read_frame;
     use hmh_core::HmhParams;
 
     fn tmpdir(tag: &str) -> PathBuf {
