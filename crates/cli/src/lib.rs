@@ -74,8 +74,14 @@ commands:
             list              list stored sketches with estimates
             remove NAME       remove a sketch (durable tombstone)
             compact           rewrite the snapshot, reset the log
-            fsck [--json]     report on-disk health (salvage scan);
-                              exits 0 clean, 1 salvaged, 2 unrecoverable
+            fsck [--json]     report on-disk health (salvage scan) with
+                              per-record corruption spans; exits 0
+                              clean, 1 salvaged, 2 unrecoverable
+            scrub             re-verify every committed record's
+                              checksum, repair from surviving copies,
+                              quarantine the rest; exits 0 clean, 1 when
+                              repair or quarantine work was done, 2
+                              unrecoverable
   serve   DIR [--addr A] [--workers N] [--queue-depth N]
               [--peer ADDR]... [--sync-interval-ms N]
           serve the store at DIR over TCP (default 127.0.0.1:7700);
@@ -93,6 +99,9 @@ commands:
             batch NAME FILE [-p P] [-q Q] [-r R] [--seed S] [--alg A]
                               ingest lines of FILE into NAME server-side
             card NAME / jaccard A B / list / health / shutdown
+            scrub [--status]  trigger a full scrub pass on the server
+                              (--status only reads the counters) and
+                              list the quarantined names
   route   OP [ARG...]         consistent-hash routing tier; OP is one of
             serve RING [--addr A] [--workers N] [--queue-depth N]
                               route the cluster described by ring file
@@ -439,11 +448,18 @@ fn cmd_store(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let [dir, op, rest @ ..] = args else {
         return Err(CliError::usage("store needs DIR and an operation\n(see `hmh help`)"));
     };
-    // fsck's contract reserves exit code 2 for "unrecoverable": a store
+    // fsck and scrub reserve exit code 2 for "unrecoverable": a store
     // that cannot even open (I/O failure, or another process — a daemon
     // or CLI — holds the lock). Other ops use the generic failure code.
-    let open_code = if op == "fsck" { 2 } else { 1 };
-    let mut store = hmh_store::SketchStore::open(dir)
+    // They also open with auto-heal off: fsck is read-only by contract
+    // (the corrupt spans must still be on disk for it to report), and
+    // scrub does its own detection and healing — letting the open
+    // compact first would leave both nothing to find.
+    let diagnostic = op == "fsck" || op == "scrub";
+    let open_code = if diagnostic { 2 } else { 1 };
+    let options =
+        hmh_store::StoreOptions { auto_heal: !diagnostic, ..hmh_store::StoreOptions::default() };
+    let mut store = hmh_store::SketchStore::open_opts(dir, options)
         .map_err(|e| CliError { message: format!("cannot open store {dir}: {e}"), code: open_code })?;
     let opened = store.recovery_report().clone();
     match (op.as_str(), rest) {
@@ -494,9 +510,10 @@ fn cmd_store(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 [flag] if flag == "--json" => true,
                 _ => return Err(CliError::usage("fsck takes at most --json")),
             };
-            let now = store
-                .fsck()
+            let detail = store
+                .fsck_detail()
                 .map_err(|e| CliError { message: format!("fsck: {e}"), code: 2 })?;
+            let now = &detail.report;
             // "Salvaged" means recovery had to do work anywhere along the
             // way: the open found damage (quarantine or a torn tail), or
             // the disk is dirty right now.
@@ -505,10 +522,16 @@ fn cmd_store(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 write_out(
                     out,
                     format!(
-                        "{{\"dir\":{},\"open\":{},\"disk\":{},\"status\":\"{}\"}}\n",
+                        "{{\"dir\":{},\"open\":{},\"disk\":{},\"spans\":[{}],\"status\":\"{}\"}}\n",
                         json_string(dir),
                         json_report(&opened),
-                        json_report(&now),
+                        json_report(now),
+                        detail
+                            .spans
+                            .iter()
+                            .map(json_span)
+                            .collect::<Vec<_>>()
+                            .join(","),
                         if salvaged { "salvaged" } else { "clean" },
                     ),
                 )?;
@@ -527,6 +550,18 @@ fn cmd_store(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                         if now.is_clean() { "clean" } else { "DIRTY" },
                     ),
                 )?;
+                for finding in &detail.spans {
+                    let span = &finding.span;
+                    let name = span.name.as_deref().unwrap_or("<unattributed>");
+                    write_out(
+                        out,
+                        format!(
+                            "{dir}: corrupt span in {} at offset {}, {} byte(s), record {name}, \
+                             checksum expected {:#018x} actual {:#018x}\n",
+                            finding.file, span.offset, span.len, span.expected, span.actual,
+                        ),
+                    )?;
+                }
             }
             if salvaged {
                 // Report already written; the code tells scripts what
@@ -535,10 +570,83 @@ fn cmd_store(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        ("scrub", []) => {
+            // One full offline pass: every committed record's checksum
+            // re-verified. Corruption with a surviving valid copy is
+            // repaired in place (the in-memory map is authoritative);
+            // corruption without one is fenced in quarantine. The exit
+            // code is the contract scripts script against: 0 = every
+            // record verified clean, 1 = repair or quarantine work was
+            // done, 2 = the scrub itself could not run.
+            let pass = store
+                .scrub_full(hmh_store::SCRUB_SLICE_BYTES)
+                .map_err(|e| CliError { message: format!("scrub: {e}"), code: 2 })?;
+            let fenced = store.quarantined_page("", usize::MAX);
+            // "Repaired" for display means spans this pass rewrote from
+            // a surviving copy — not spans whose record is fenced (the
+            // store's cumulative counter can attribute those to the
+            // open-time fence instead and would double-count them here).
+            let repaired = pass
+                .findings
+                .iter()
+                .filter(|f| match f.span.name.as_deref() {
+                    Some(name) => !fenced.iter().any(|q| q == name),
+                    None => true,
+                })
+                .count();
+            write_out(
+                out,
+                format!(
+                    "{dir}: scrubbed {} record(s), {} corrupt span(s) found, \
+                     {} repaired, {} quarantined\n",
+                    pass.records,
+                    pass.findings.len(),
+                    repaired,
+                    fenced.len(),
+                ),
+            )?;
+            for finding in &pass.findings {
+                let span = &finding.span;
+                let name = span.name.as_deref().unwrap_or("<unattributed>");
+                write_out(
+                    out,
+                    format!(
+                        "{dir}: corrupt span in {} at offset {}, {} byte(s), record {name}\n",
+                        finding.file, span.offset, span.len,
+                    ),
+                )?;
+            }
+            for name in &fenced {
+                write_out(out, format!("{dir}: quarantined {name}\n"))?;
+            }
+            let worked = !pass.findings.is_empty() || !fenced.is_empty() || !opened.is_clean();
+            if worked {
+                return Err(CliError {
+                    message: format!("{dir}: scrub found corruption"),
+                    code: 1,
+                });
+            }
+            Ok(())
+        }
         (op, _) => Err(CliError::usage(format!(
             "bad store operation {op:?} (or wrong arguments)\n(see `hmh help`)"
         ))),
     }
+}
+
+/// One fsck corruption span as a JSON object.
+fn json_span(finding: &hmh_store::ScrubFinding) -> String {
+    let span = &finding.span;
+    let name = span.name.as_ref().map_or_else(|| "null".to_string(), |n| json_string(n));
+    format!(
+        "{{\"file\":{},\"offset\":{},\"length\":{},\"name\":{name},\
+         \"checksum_expected\":{},\"checksum_actual\":{}}}",
+        json_string(finding.file),
+        span.offset,
+        span.len,
+        span.expected,
+        span.actual,
+    )
 }
 
 fn json_report(r: &hmh_store::RecoveryReport) -> String {
@@ -775,7 +883,9 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     "read_only: {}\nworkers: {}\nqueue: {}/{}\nactive: {}\nshed: {}\nserved: {}\n\
                      sketches: {}\nstore_clean: {}\nquarantined: {}\ntruncated_tail: {}\n\
                      replication_rounds: {}\nroute_epoch: {}\nroute_handoffs: {}\n\
-                     expired: {}\nretry_budget_exhausted: {}\nbreaker_open: {}\npeers: {}\n",
+                     expired: {}\nretry_budget_exhausted: {}\nbreaker_open: {}\n\
+                     scrub_rounds: {}\nrecords_scrubbed: {}\ncorrupt_found: {}\n\
+                     repaired: {}\nscrub_quarantined: {}\nlast_scrub: {}\npeers: {}\n",
                     h.read_only,
                     h.workers,
                     h.queue_depth,
@@ -793,6 +903,12 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     h.expired,
                     h.retry_exhausted,
                     h.breaker_open,
+                    h.scrub_rounds,
+                    h.records_scrubbed,
+                    h.corrupt_found,
+                    h.repaired,
+                    h.scrub_quarantined,
+                    scrub_age(h.last_scrub_age_ms),
                     h.peers.len(),
                 ),
             )?;
@@ -812,6 +928,30 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        ("scrub", rest) if rest.is_empty() || rest == ["--status".to_string()] => {
+            // Bare `scrub` triggers one full synchronous pass server-side;
+            // `--status` only reads the counters and the quarantine page
+            // (safe against a read-only daemon, which refuses the trigger).
+            let trigger = rest.is_empty();
+            let report = client.scrub(trigger, "").map_err(|e| fail("scrub", e))?;
+            write_out(
+                out,
+                format!(
+                    "scrub_rounds: {}\nrecords_scrubbed: {}\ncorrupt_found: {}\n\
+                     repaired: {}\nquarantined: {}\nlast_scrub: {}\n",
+                    report.rounds,
+                    report.records,
+                    report.corrupt_found,
+                    report.repaired,
+                    report.quarantined,
+                    scrub_age(report.last_scrub_age_ms),
+                ),
+            )?;
+            for name in &report.names {
+                write_out(out, format!("quarantined {name}\n"))?;
+            }
+            Ok(())
+        }
         ("shutdown", []) => {
             client.shutdown().map_err(|e| fail("shutdown", e))?;
             write_out(out, format!("{addr}: shutdown requested\n"))
@@ -819,6 +959,17 @@ fn cmd_client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         (op, _) => Err(CliError::usage(format!(
             "bad client operation {op:?} (or wrong arguments)\n(see `hmh help`)"
         ))),
+    }
+}
+
+/// Render a `last_scrub_age_ms` wire value: `u64::MAX` is the sentinel
+/// for "no pass has completed yet" (on a routing tier, "on at least one
+/// shard").
+fn scrub_age(age_ms: u64) -> String {
+    if age_ms == u64::MAX {
+        "never completed".to_string()
+    } else {
+        format!("{age_ms} ms ago")
     }
 }
 
@@ -1343,7 +1494,8 @@ mod tests {
         run_to_string(&["store", &sdir, "put", "daily", &a]).unwrap();
 
         // Garbage appended to the WAL (e.g. a torn write from a crashed
-        // writer) is quarantined at the next open, then healed away.
+        // writer): fsck reports it without touching the disk, so the
+        // evidence survives the diagnosis.
         let wal = std::path::Path::new(&sdir).join(hmh_store::WAL_FILE);
         let mut bytes = std::fs::read(&wal).unwrap();
         bytes.extend_from_slice(b"\xde\xad garbage \xbe\xef");
@@ -1352,9 +1504,14 @@ mod tests {
         let (result, fsck) = run_capture(&["store", &sdir, "fsck"]);
         assert_eq!(result.unwrap_err().code, 1, "salvage work done → exit 1");
         assert!(fsck.contains("quarantined 1 region(s)"), "{fsck}");
-        assert!(fsck.contains("clean"), "auto-heal leaves disk clean: {fsck}");
+        assert!(fsck.contains("DIRTY"), "fsck never mutates: {fsck}");
         let list = run_to_string(&["store", &sdir, "list"]).unwrap();
         assert!(list.contains("daily"), "intact record survived: {list}");
+
+        // A regular open (here: `list`) auto-heals, so the next fsck
+        // finds a clean disk and exits 0.
+        let healed = run_to_string(&["store", &sdir, "fsck"]).unwrap();
+        assert!(healed.contains("clean"), "regular open auto-healed: {healed}");
     }
 
     #[test]
@@ -1371,6 +1528,9 @@ mod tests {
             json.contains("\"open\":{\"recovered\":"), "report objects present: {json}"
         );
 
+        // A clean store reports an empty span array.
+        assert!(json.contains("\"spans\":[]"), "{json}");
+
         // Corrupt the WAL: exit 1 ("salvaged"), report still written.
         let wal = std::path::Path::new(&sdir).join(hmh_store::WAL_FILE);
         let mut bytes = std::fs::read(&wal).unwrap();
@@ -1386,6 +1546,58 @@ mod tests {
 
         // Unknown flag is a usage error, not a silent fallback.
         assert_eq!(run_to_string(&["store", &sdir, "fsck", "--frob"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn store_scrub_exit_contract_and_quarantine() {
+        let dir = TempDir::new("store-scrub");
+        let a = build(&dir, "a", 0, 1_000);
+        let sdir = dir.path("sketchdb");
+        run_to_string(&["store", &sdir, "put", "daily", &a]).unwrap();
+
+        // Clean store: scrub verifies every record and exits 0.
+        let clean = run_to_string(&["store", &sdir, "scrub"]).unwrap();
+        assert!(clean.contains("0 corrupt span(s)"), "{clean}");
+        assert!(clean.contains("0 quarantined"), "{clean}");
+
+        // Flip a payload byte of the committed record (12 bytes from the
+        // end: past the 8-byte checksum trailer, inside the payload).
+        let wal = std::path::Path::new(&sdir).join(hmh_store::WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let n = bytes.len();
+        bytes[n - 12] ^= 0x01;
+        std::fs::write(&wal, bytes).unwrap();
+
+        // fsck --json carries the per-record span detail and never
+        // mutates: the corrupt bytes are still on disk afterwards.
+        let (result, json) = run_capture(&["store", &sdir, "fsck", "--json"]);
+        assert_eq!(result.unwrap_err().code, 1);
+        assert!(json.contains("\"spans\":[{\"file\":"), "{json}");
+        assert!(json.contains("\"name\":\"daily\""), "{json}");
+        assert!(json.contains("\"checksum_expected\":"), "{json}");
+
+        // No valid copy survives, so scrub fences the name and reports
+        // the work: exit 1, the span found, the name listed.
+        let (result, report) = run_capture(&["store", &sdir, "scrub"]);
+        assert_eq!(result.unwrap_err().code, 1, "quarantine work done → exit 1");
+        assert!(report.contains("1 corrupt span(s) found"), "{report}");
+        assert!(report.contains("quarantined daily"), "{report}");
+
+        // Scrub healed the disk (corrupt bytes compacted away), but the
+        // fence persists until a valid write releases it.
+        let (result, json) = run_capture(&["store", &sdir, "fsck", "--json"]);
+        assert!(result.is_ok(), "scrub left a clean disk: {json}");
+        assert!(json.contains("\"spans\":[]"), "{json}");
+
+        // A fresh valid write releases the fence; compaction clears the
+        // corrupt span off disk; scrub then exits 0 again.
+        run_to_string(&["store", &sdir, "put", "daily", &a]).unwrap();
+        run_to_string(&["store", &sdir, "compact"]).unwrap();
+        let healed = run_to_string(&["store", &sdir, "scrub"]).unwrap();
+        assert!(healed.contains("0 quarantined"), "{healed}");
+
+        // Wrong arguments are a usage error, not a silent fallback.
+        assert_eq!(run_to_string(&["store", &sdir, "scrub", "--frob"]).unwrap_err().code, 2);
     }
 
     #[test]
@@ -1446,6 +1658,18 @@ mod tests {
         let health = run_to_string(&["client", &addr, "health"]).unwrap();
         assert!(health.contains("read_only: false"), "{health}");
         assert!(health.contains("store_clean: true"), "{health}");
+        assert!(health.contains("corrupt_found: 0"), "{health}");
+        assert!(health.contains("scrub_quarantined: 0"), "{health}");
+
+        // A triggered scrub verifies both records and reports clean; the
+        // pure status query then sees the completed pass.
+        let scrub = run_to_string(&["client", &addr, "scrub"]).unwrap();
+        assert!(scrub.contains("corrupt_found: 0"), "{scrub}");
+        assert!(scrub.contains("quarantined: 0"), "{scrub}");
+        assert!(!scrub.contains("never completed"), "{scrub}");
+        let status = run_to_string(&["client", &addr, "scrub", "--status"]).unwrap();
+        assert!(status.contains("ms ago"), "{status}");
+        assert_eq!(run_to_string(&["client", &addr, "scrub", "--frob"]).unwrap_err().code, 2);
 
         let missing = run_to_string(&["client", &addr, "card", "nope"]).unwrap_err();
         assert!(missing.message.contains("nope"), "{missing:?}");

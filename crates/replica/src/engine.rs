@@ -27,6 +27,18 @@
 //! daemon before any write — a garbage sketch dies there as a typed
 //! BAD_SKETCH and the peer is marked failed, while the local store keeps
 //! serving writes.
+//!
+//! The engine also runs **read-repair** for the scrub's quarantine: any
+//! name the local daemon has fenced as corrupt (its stored bytes failed
+//! the checksum scrub with no valid copy surviving locally) is
+//! re-fetched from peers in ladder-health order — healthy before
+//! suspect before down — and folded back in through the same loopback
+//! MERGE path, which validates the payload and releases the fence only
+//! on a successful write. A peer that has the name fenced itself
+//! answers a typed CORRUPT_QUARANTINED and is skipped; a peer serving
+//! garbage dies at the local daemon as BAD_SKETCH and the fence stays;
+//! a fully partitioned node finds no donor and *keeps* the fence — a
+//! quarantined name is never silently dropped, and never served torn.
 
 use std::io;
 use std::net::SocketAddr;
@@ -36,8 +48,8 @@ use std::thread;
 use std::time::Duration;
 
 use hmh_serve::{
-    Client, ClientError, ClientOptions, ReplicationStatus, RetryBudget, MAX_DIGEST_ENTRIES,
-    MAX_SYNC_NAMES,
+    Client, ClientError, ClientOptions, PeerState, ReplicationStatus, RetryBudget,
+    MAX_DIGEST_ENTRIES, MAX_SCRUB_PAGE, MAX_SYNC_NAMES,
 };
 use hmh_store::RetryPolicy;
 
@@ -50,6 +62,14 @@ const POLL_TICK: Duration = Duration::from_millis(5);
 /// claiming more names than this is lying or misconfigured; either way
 /// the round fails typed instead of allocating without bound.
 pub const MAX_TRACKED_DIGESTS: usize = 1 << 20;
+
+/// Ceiling on quarantined names read-repair works through in one round.
+/// Quarantine beyond the cap is not lost — the names stay fenced and
+/// the next round's pass picks up where the page cursor left off from
+/// the start of a now-smaller set. Bounding per-round work keeps a
+/// mass-corruption event from turning the repair pass into an unbounded
+/// stall between pacing sleeps.
+pub const MAX_REPAIR_PER_ROUND: usize = 1024;
 
 /// Anti-entropy configuration.
 #[derive(Debug, Clone)]
@@ -216,9 +236,74 @@ fn engine_loop(
                 Err(_) => tracker.record_failure(round),
             }
         }
+        if !stop.load(Ordering::SeqCst) {
+            repair_round(local, &trackers, round, status, opts);
+        }
         status.publish(round, trackers.iter().map(|(_, t)| t.health(round)).collect());
         sleep_sliced(pacing.backoff_delay(1), stop);
     }
+}
+
+/// One read-repair pass: if the local daemon has quarantined names,
+/// try to re-fetch each from peers in ladder-health order and fold it
+/// back in via loopback MERGE (which releases the fence). The local
+/// status query is free; dialing peers pays the same low-priority
+/// budget toll as a sync, so repair yields to foreground load. Failure
+/// is non-fatal — the fence persists and the next round retries.
+fn repair_round(
+    local: SocketAddr,
+    trackers: &[(SocketAddr, PeerTracker)],
+    round: u64,
+    status: &ReplicationStatus,
+    opts: &ReplicaOptions,
+) {
+    let mut local_client = Client::with_options(local, opts.client.clone());
+    let Ok(names) = fetch_quarantine(&mut local_client) else {
+        // Loopback is down or lying; nothing to repair against.
+        return;
+    };
+    if names.is_empty() {
+        return;
+    }
+    if let Some(budget) = &opts.retry_budget {
+        if !budget.try_spend_low() {
+            status.record_yield();
+            return;
+        }
+    }
+    let order = repair_order(trackers, round);
+    let repaired = repair_names(&mut local_client, &order, &names, opts);
+    // Re-deposit the toll only when the pass actually released fences:
+    // a partitioned node whose donors never answer drains toward the
+    // yield threshold instead of dialing dead peers at full cadence.
+    if repaired > 0 {
+        if let Some(budget) = &opts.retry_budget {
+            budget.record_success();
+        }
+    }
+}
+
+/// Peers worth asking for a repair copy this round, healthiest first:
+/// healthy before suspect before down (config order breaks ties), and
+/// down peers still inside their backoff window are skipped entirely —
+/// read-repair must not become the reconnect storm the ladder exists
+/// to prevent.
+fn repair_order(trackers: &[(SocketAddr, PeerTracker)], round: u64) -> Vec<SocketAddr> {
+    let mut ranked: Vec<(u8, usize, SocketAddr)> = trackers
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, tracker))| tracker.should_attempt(round))
+        .map(|(i, (addr, tracker))| {
+            let rank = match tracker.state() {
+                PeerState::Healthy => 0u8,
+                PeerState::Suspect => 1,
+                PeerState::Down => 2,
+            };
+            (rank, i, *addr)
+        })
+        .collect();
+    ranked.sort_unstable();
+    ranked.into_iter().map(|(_, _, addr)| addr).collect()
 }
 
 /// Sleep for `total`, re-checking the stop flag every poll tick so
@@ -260,6 +345,99 @@ pub fn sync_with_peer(
         return Ok(0);
     }
     pull_divergent(&mut peer_client, &mut local_client, &divergent)
+}
+
+/// One full read-repair pass against `peers` (tried in the given order
+/// for every name): fetch the local daemon's quarantined names over
+/// loopback, then for each name pull an encoded copy from the first
+/// peer that serves one and fold it back in via loopback MERGE. Returns
+/// the number of names repaired (fences released). Names no peer could
+/// supply stay fenced — that is the quarantine keeping its promise, not
+/// an error — so the return value may be less than the quarantine size.
+///
+/// Public for the same reason [`fetch_digests`] is: the CLI's repair
+/// verb and the mesh drill want exactly this pass, without duplicating
+/// the hardened pagination or the donor-selection loop.
+pub fn repair_from_peers(
+    local: SocketAddr,
+    peers: &[SocketAddr],
+    opts: &ReplicaOptions,
+) -> Result<u64, SyncError> {
+    let mut local_client = Client::with_options(local, opts.client.clone());
+    let names = fetch_quarantine(&mut local_client)?;
+    Ok(repair_names(&mut local_client, peers, &names, opts))
+}
+
+/// Up to [`MAX_REPAIR_PER_ROUND`] quarantined names from one daemon's
+/// scrub status, in sorted order. Pagination is hardened exactly like
+/// [`fetch_digests`]: names must arrive strictly increasing (the cursor
+/// provably advances) and a page over [`MAX_SCRUB_PAGE`] is a protocol
+/// violation. The query never triggers a scrub pass — it only reads the
+/// fence — so it is safe against a read-only (degraded) daemon.
+pub fn fetch_quarantine(client: &mut Client) -> Result<Vec<String>, SyncError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut cursor = String::new();
+    loop {
+        let report = client.scrub(false, &cursor)?;
+        let page_len = report.names.len();
+        if page_len > MAX_SCRUB_PAGE {
+            return Err(SyncError::Protocol(format!(
+                "quarantine page of {page_len} names exceeds the {MAX_SCRUB_PAGE} cap"
+            )));
+        }
+        for name in report.names {
+            if name.as_str() <= cursor.as_str() {
+                return Err(SyncError::Protocol(format!(
+                    "quarantine cursor did not advance at {name:?}"
+                )));
+            }
+            cursor.clone_from(&name);
+            names.push(name);
+            if names.len() >= MAX_REPAIR_PER_ROUND {
+                return Ok(names);
+            }
+        }
+        if page_len < MAX_SCRUB_PAGE {
+            return Ok(names);
+        }
+    }
+}
+
+/// Try to repair each of `names` from the first donor in `peers` that
+/// serves a copy; returns how many fences were released. Per-name,
+/// per-peer failures are skipped, not propagated: a donor that is
+/// unreachable, answers NOT_FOUND (never held the name), or answers
+/// CORRUPT_QUARANTINED (fenced it too) simply is not a donor for that
+/// name. The MERGE release is trusted only when the local daemon says
+/// Ok — a garbage payload dies there as a typed BAD_SKETCH with the
+/// fence intact, charged to nobody but the donor we move past.
+fn repair_names(
+    local: &mut Client,
+    peers: &[SocketAddr],
+    names: &[String],
+    opts: &ReplicaOptions,
+) -> u64 {
+    if names.is_empty() || peers.is_empty() {
+        return 0;
+    }
+    let mut donors: Vec<Client> =
+        peers.iter().map(|&addr| Client::with_options(addr, opts.client.clone())).collect();
+    let mut repaired = 0u64;
+    for name in names {
+        for donor in &mut donors {
+            let Ok(payload) = donor.get_raw(name) else {
+                continue;
+            };
+            if payload.is_empty() {
+                continue;
+            }
+            if local.merge_raw(name, &payload).is_ok() {
+                repaired = repaired.saturating_add(1);
+                break;
+            }
+        }
+    }
+    repaired
 }
 
 /// All digest pages from one daemon, as a sorted name → checksum map.

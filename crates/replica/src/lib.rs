@@ -12,6 +12,15 @@
 //! MERGE path — serialized behind the store lock, validated like any
 //! other write.
 //!
+//! The same engine doubles as the cluster's repair crew for at-rest
+//! corruption: names the local daemon's scrub has quarantined are
+//! re-fetched from the healthiest peer holding a valid copy and folded
+//! back in through loopback MERGE, which releases the fence — see
+//! [`engine::repair_from_peers`]. Merge-repair is sound for the same
+//! CRDT reason replication is: folding a healthy replica's copy into
+//! whatever survived locally can only move the sketch *toward* the
+//! cluster-wide union, never lose observed items.
+//!
 //! Peer liveness is tracked with a healthy → suspect → down ladder
 //! ([`PeerTracker`]) whose down-state attempts back off exponentially
 //! in rounds, capped — a dead peer costs the cluster a bounded trickle
@@ -44,6 +53,7 @@ pub mod engine;
 pub mod peer;
 
 pub use engine::{
-    fetch_digests, sync_with_peer, AntiEntropy, ReplicaOptions, SyncError, MAX_TRACKED_DIGESTS,
+    fetch_digests, fetch_quarantine, repair_from_peers, sync_with_peer, AntiEntropy,
+    ReplicaOptions, SyncError, MAX_REPAIR_PER_ROUND, MAX_TRACKED_DIGESTS,
 };
 pub use peer::{PeerTracker, BACKOFF_CAP_ROUNDS, DOWN_AFTER};

@@ -38,8 +38,8 @@ use std::time::{Duration, Instant};
 use hmh_replica::PeerTracker;
 use hmh_serve::proto::{
     decode_request_budget, encode_response, write_frame, write_frames_vectored, ErrCode,
-    FrameBuffer, FrameError, Health, Request, Response, MAX_FRAME_LEN, MAX_LIST_NAMES,
-    MAX_PIPELINE_DEPTH,
+    FrameBuffer, FrameError, Health, Request, Response, ScrubReport, MAX_FRAME_LEN,
+    MAX_LIST_NAMES, MAX_PIPELINE_DEPTH, MAX_SCRUB_PAGE,
 };
 use hmh_serve::{
     typed_response, Client, ClientError, ClientOptions, FailoverClient, RetryBudget,
@@ -524,6 +524,7 @@ fn handle_request(
         Request::ListPage { after } => scatter_list_page(shared, shards, &after),
         Request::Delete { name } => delete(shared, shards, &name),
         Request::Health => Response::Health(scatter_health(shared, shards)),
+        Request::Scrub { trigger, after } => scatter_scrub(shared, shards, trigger, &after),
         Request::Digest { .. } => Response::Err {
             code: ErrCode::UnknownOp,
             message: "DIGEST is replica-to-replica anti-entropy; routers do not serve it".into(),
@@ -841,6 +842,58 @@ fn delete(shared: &Shared, shards: &mut ShardClients, name: &str) -> Response {
     Response::Ok
 }
 
+/// SCRUB scatter-gather: fan the trigger (or status query) across every
+/// group, sum the counters, and merge the quarantined-name pages.
+///
+/// The name cut is gapless for the same reason [`scatter_list_page`]'s
+/// is: each group's page holds its smallest fenced names after the
+/// cursor, so the merged page's cut is provably below anything a full
+/// group page omitted. `last_scrub_age_ms` aggregates as the *oldest*
+/// age across groups — the cluster has scrubbed only as recently as its
+/// most-stale shard — so a shard that never completed a pass keeps the
+/// cluster honest at `u64::MAX`. Like the legacy LIST, a report has no
+/// partial marker, so an unreachable group fails the scatter typed
+/// instead of understating the cluster's corruption.
+fn scatter_scrub(
+    shared: &Shared,
+    shards: &mut ShardClients,
+    trigger: bool,
+    after: &str,
+) -> Response {
+    let mut report = ScrubReport::default();
+    let mut union = BTreeSet::new();
+    for group in 0..shared.ring.group_count() {
+        if !shared.liveness.should_attempt(group) {
+            return unavailable(shared, group, "group is in down-backoff");
+        }
+        match shards.groups[group].scrub(trigger, after) {
+            Ok(page) => {
+                shared.liveness.record(group, true);
+                report.rounds = report.rounds.saturating_add(page.rounds);
+                report.records = report.records.saturating_add(page.records);
+                report.corrupt_found = report.corrupt_found.saturating_add(page.corrupt_found);
+                report.repaired = report.repaired.saturating_add(page.repaired);
+                report.quarantined = report.quarantined.saturating_add(page.quarantined);
+                report.last_scrub_age_ms = report.last_scrub_age_ms.max(page.last_scrub_age_ms);
+                union.extend(page.names);
+            }
+            Err(
+                e @ (ClientError::AllReplicasDown { .. }
+                | ClientError::Io(_)
+                | ClientError::Busy
+                | ClientError::BreakerOpen { .. }
+                | ClientError::RetryBudgetExhausted),
+            ) => {
+                shared.liveness.record(group, false);
+                return unavailable(shared, group, &e.to_string());
+            }
+            Err(e) => return respond(shared, group, Err(e)),
+        }
+    }
+    report.names = union.into_iter().take(MAX_SCRUB_PAGE).collect();
+    Response::Scrub(report)
+}
+
 /// HEALTH scatter-gather: liveness-gated health from every group,
 /// aggregated into one snapshot. Per-group state rides the `peers`
 /// slots (addr = group id); `route_epoch`/`route_handoffs` are the
@@ -852,9 +905,19 @@ fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
     let mut expired_sum = 0u64;
     let mut retry_sum = 0u64;
     let mut breaker_sum = 0u64;
+    let mut scrub_rounds = 0u64;
+    let mut records_scrubbed = 0u64;
+    let mut corrupt_found = 0u64;
+    let mut repaired = 0u64;
+    let mut scrub_quarantined = 0u64;
+    // Oldest completed-pass age across shards: the cluster has scrubbed
+    // only as recently as its most-stale shard, and a shard that never
+    // finished a pass (or could not be asked) pins this at u64::MAX.
+    let mut last_scrub_age_ms = 0u64;
     for group in 0..shared.ring.group_count() {
         if !shared.liveness.should_attempt(group) {
             store_clean = false;
+            last_scrub_age_ms = u64::MAX;
             continue;
         }
         match shards.groups[group].health() {
@@ -866,10 +929,17 @@ fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
                 expired_sum = expired_sum.saturating_add(h.expired);
                 retry_sum = retry_sum.saturating_add(h.retry_exhausted);
                 breaker_sum = breaker_sum.saturating_add(h.breaker_open);
+                scrub_rounds = scrub_rounds.saturating_add(h.scrub_rounds);
+                records_scrubbed = records_scrubbed.saturating_add(h.records_scrubbed);
+                corrupt_found = corrupt_found.saturating_add(h.corrupt_found);
+                repaired = repaired.saturating_add(h.repaired);
+                scrub_quarantined = scrub_quarantined.saturating_add(h.scrub_quarantined);
+                last_scrub_age_ms = last_scrub_age_ms.max(h.last_scrub_age_ms);
             }
             Err(_) => {
                 shared.liveness.record(group, false);
                 store_clean = false;
+                last_scrub_age_ms = u64::MAX;
             }
         }
     }
@@ -894,6 +964,12 @@ fn scatter_health(shared: &Shared, shards: &mut ShardClients) -> Health {
         expired: shared.expired.load(Ordering::Relaxed).saturating_add(expired_sum),
         retry_exhausted: shared.budget.exhausted().saturating_add(retry_sum),
         breaker_open: shared.breaker_refusals.load(Ordering::Relaxed).saturating_add(breaker_sum),
+        scrub_rounds,
+        records_scrubbed,
+        corrupt_found,
+        repaired,
+        scrub_quarantined,
+        last_scrub_age_ms,
         peers,
     }
 }

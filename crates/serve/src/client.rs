@@ -25,8 +25,8 @@ use hmh_store::RetryPolicy;
 
 use crate::proto::{
     decode_response, encode_request_budget, read_frame, write_frame, write_frames_vectored,
-    DigestEntry, ErrCode, FrameError, Health, Request, Response, SyncEntry, MAX_BATCH_ITEMS,
-    MAX_BUDGET_MS, MAX_FRAME_LEN, MAX_ITEM_LEN, MAX_PIPELINE_DEPTH,
+    DigestEntry, ErrCode, FrameError, Health, Request, Response, ScrubReport, SyncEntry,
+    MAX_BATCH_ITEMS, MAX_BUDGET_MS, MAX_FRAME_LEN, MAX_ITEM_LEN, MAX_PIPELINE_DEPTH,
 };
 
 /// A shared token-bucket retry budget (Finagle-style): retries across a
@@ -589,6 +589,23 @@ impl Client {
         match self.request(&Request::Health)? {
             Response::Health(h) => Ok(h),
             other => Err(unexpected(other, "")),
+        }
+    }
+
+    /// Scrub counters plus one page of quarantined names strictly after
+    /// `after` in sorted order (empty `after` starts from the
+    /// beginning). With `trigger` set the server first runs one full
+    /// synchronous scrub pass over every committed record, so the
+    /// returned counters reflect it; triggering is refused READ_ONLY on
+    /// a degraded server (repair compacts, which writes), but a pure
+    /// status query (`trigger: false`) always answers — a degraded
+    /// replica must still be able to enumerate its fence for
+    /// read-repair. A page shorter than
+    /// [`crate::proto::MAX_SCRUB_PAGE`] is the last page.
+    pub fn scrub(&mut self, trigger: bool, after: &str) -> Result<ScrubReport, ClientError> {
+        match self.request(&Request::Scrub { trigger, after: after.to_string() })? {
+            Response::Scrub(report) => Ok(report),
+            other => Err(unexpected(other, after)),
         }
     }
 
@@ -1214,6 +1231,15 @@ impl FailoverClient {
     /// Health snapshot from whichever replica answers.
     pub fn health(&mut self) -> Result<Health, ClientError> {
         self.with_failover(|c| c.health())
+    }
+
+    /// Scrub status (or a triggered pass) from whichever replica
+    /// answers (see [`Client::scrub`]). Note that scrub state is
+    /// per-replica: a quarantine page from replica A says nothing about
+    /// replica B, so callers that care *which* store was scrubbed
+    /// should use a direct [`Client`] instead.
+    pub fn scrub(&mut self, trigger: bool, after: &str) -> Result<ScrubReport, ClientError> {
+        self.with_failover(|c| c.scrub(trigger, after))
     }
 
     /// Ask the *current* replica to drain and exit. Deliberately no

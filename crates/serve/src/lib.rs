@@ -39,8 +39,8 @@ pub use client::{
     typed_response, Breaker, Client, ClientError, ClientOptions, FailoverClient, RetryBudget,
 };
 pub use proto::{
-    DigestEntry, ErrCode, Health, PeerHealth, PeerState, ProtoError, Request, Response, SyncEntry,
-    MAX_BATCH_ITEMS, MAX_BUDGET_MS, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN, MAX_ITEM_LEN,
-    MAX_LIST_NAMES, MAX_PEERS, MAX_PIPELINE_DEPTH, MAX_SYNC_NAMES,
+    DigestEntry, ErrCode, Health, PeerHealth, PeerState, ProtoError, Request, Response,
+    ScrubReport, SyncEntry, MAX_BATCH_ITEMS, MAX_BUDGET_MS, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN,
+    MAX_ITEM_LEN, MAX_LIST_NAMES, MAX_PEERS, MAX_PIPELINE_DEPTH, MAX_SCRUB_PAGE, MAX_SYNC_NAMES,
 };
 pub use server::{serve, ReplicationStatus, ServeError, ServeOptions, ServerHandle};

@@ -112,6 +112,12 @@ pub const MAX_SYNC_NAMES: usize = 256;
 /// path for small stores.
 pub const MAX_LIST_NAMES: usize = 2048;
 
+/// Maximum quarantined names one `SCRUB` response carries. The same
+/// page contract as [`MAX_DIGEST_ENTRIES`]: names arrive in strictly
+/// increasing order after the request's cursor, and a page shorter
+/// than the cap is the last page.
+pub const MAX_SCRUB_PAGE: usize = 256;
+
 /// Maximum peers a `HEALTH` response enumerates (and a daemon accepts).
 pub const MAX_PEERS: usize = 64;
 
@@ -133,6 +139,7 @@ mod op {
     pub const SYNC: u8 = 11;
     pub const LIST_PAGE: u8 = 12;
     pub const DELETE: u8 = 13;
+    pub const SCRUB: u8 = 14;
 }
 
 /// Response status bytes.
@@ -145,6 +152,7 @@ mod status {
     pub const DIGESTS: u8 = 5;
     pub const SKETCHES: u8 = 6;
     pub const NAMES_PAGE: u8 = 7;
+    pub const SCRUB: u8 = 8;
     pub const BUSY: u8 = 0x40;
     pub const READ_ONLY: u8 = 0x41;
     pub const EXPIRED: u8 = 0x42;
@@ -175,6 +183,11 @@ pub enum ErrCode {
     /// deadlined). Unlike a transport error this is *final for this
     /// attempt*: the router already spent its failover budget.
     Unavailable,
+    /// The requested record is quarantined: its stored bytes failed the
+    /// checksum scrub and no valid copy survives locally. The name is
+    /// fenced, never served torn — read-repair from a healthy replica
+    /// (or any validated write) releases it.
+    CorruptQuarantined,
     /// Anything else; the message says what.
     Other(u8),
 }
@@ -192,6 +205,7 @@ impl ErrCode {
             ErrCode::Incompatible => 7,
             ErrCode::Store => 8,
             ErrCode::Unavailable => 9,
+            ErrCode::CorruptQuarantined => 10,
             ErrCode::Other(b) => b,
         }
     }
@@ -208,6 +222,7 @@ impl ErrCode {
             7 => ErrCode::Incompatible,
             8 => ErrCode::Store,
             9 => ErrCode::Unavailable,
+            10 => ErrCode::CorruptQuarantined,
             other => ErrCode::Other(other),
         }
     }
@@ -305,6 +320,21 @@ pub enum Request {
         /// Names to fetch, at most [`MAX_SYNC_NAMES`].
         names: Vec<String>,
     },
+    /// Trigger or query the corruption scrub. `trigger: true` asks the
+    /// daemon to run one full scrub pass synchronously before
+    /// answering; `trigger: false` reports current counters without
+    /// doing work. Either way the reply carries one cursor-paginated
+    /// page of quarantined names (strictly greater than `after`,
+    /// sorted, at most [`MAX_SCRUB_PAGE`]) so read-repair and operators
+    /// can enumerate the fence without an unbounded frame.
+    Scrub {
+        /// True to run a scrub pass before answering.
+        trigger: bool,
+        /// Pagination cursor for the quarantined-name page: return
+        /// names strictly after this one; empty means "from the
+        /// beginning".
+        after: String,
+    },
     /// Drain queued connections, then exit.
     Shutdown,
 }
@@ -332,6 +362,31 @@ pub struct SyncEntry {
     pub name: String,
     /// Encoded `HMH1` payload; empty when the name no longer exists.
     pub payload: Vec<u8>,
+}
+
+/// The `SCRUB` response payload: lifetime scrub counters plus one page
+/// of currently quarantined names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Full scrub passes completed since start.
+    pub rounds: u64,
+    /// Records whose checksums were re-verified since start.
+    pub records: u64,
+    /// Corrupt spans found on disk since start (open-time salvage and
+    /// live scrub combined).
+    pub corrupt_found: u64,
+    /// Corrupt records restored — rewritten from the authoritative
+    /// in-memory copy or released from quarantine by a validated write.
+    pub repaired: u64,
+    /// Names currently fenced in quarantine.
+    pub quarantined: u64,
+    /// Milliseconds since the last completed scrub pass; `u64::MAX`
+    /// when no pass has completed yet.
+    pub last_scrub_age_ms: u64,
+    /// One page of quarantined names, sorted ascending, strictly after
+    /// the request's cursor; at most [`MAX_SCRUB_PAGE`]. A page shorter
+    /// than the cap is the last page.
+    pub names: Vec<String>,
 }
 
 /// Replication health of one configured peer.
@@ -437,6 +492,23 @@ pub struct Health {
     /// circuit breaker was open — bounded refusal instead of amplified
     /// dialing of a flapping peer.
     pub breaker_open: u64,
+    /// Background scrub passes completed since start.
+    pub scrub_rounds: u64,
+    /// Records whose checksums the scrub re-verified since start.
+    pub records_scrubbed: u64,
+    /// Corrupt spans found on disk since start (open-time salvage and
+    /// live scrub combined).
+    pub corrupt_found: u64,
+    /// Corrupt records restored from the in-memory copy or released
+    /// from quarantine by a validated write.
+    pub repaired: u64,
+    /// Names currently fenced in quarantine (served as typed
+    /// CORRUPT_QUARANTINED, awaiting read-repair).
+    pub scrub_quarantined: u64,
+    /// Milliseconds since the last completed scrub pass; `u64::MAX`
+    /// when none has completed. A routing tier reports the *oldest*
+    /// age across its shards.
+    pub last_scrub_age_ms: u64,
     /// Configured replication peers and their health (empty when the
     /// daemon runs without replication). A routing tier reuses these
     /// slots for per-group liveness: one entry per replica group,
@@ -474,6 +546,9 @@ pub enum Response {
     /// Encoded sketches pulled by name (the `SYNC` reply) — the longest
     /// prefix of the requested names that fits one frame.
     Sketches(Vec<SyncEntry>),
+    /// Scrub counters plus one page of quarantined names (the `SCRUB`
+    /// reply).
+    Scrub(ScrubReport),
     /// The accept queue was full; try again later.
     Busy,
     /// The service is degraded to read-only; writes are refused.
@@ -990,6 +1065,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(op::DELETE);
             push_name(&mut out, name);
         }
+        Request::Scrub { trigger, after } => {
+            out.push(op::SCRUB);
+            out.push(u8::from(*trigger));
+            push_cursor(&mut out, after);
+        }
         Request::Health => out.push(op::HEALTH),
         Request::Shutdown => out.push(op::SHUTDOWN),
     }
@@ -1064,6 +1144,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&h.expired.to_le_bytes());
             out.extend_from_slice(&h.retry_exhausted.to_le_bytes());
             out.extend_from_slice(&h.breaker_open.to_le_bytes());
+            out.extend_from_slice(&h.scrub_rounds.to_le_bytes());
+            out.extend_from_slice(&h.records_scrubbed.to_le_bytes());
+            out.extend_from_slice(&h.corrupt_found.to_le_bytes());
+            out.extend_from_slice(&h.repaired.to_le_bytes());
+            out.extend_from_slice(&h.scrub_quarantined.to_le_bytes());
+            out.extend_from_slice(&h.last_scrub_age_ms.to_le_bytes());
             assert!(h.peers.len() <= MAX_PEERS, "invariant: daemons cap peer lists");
             let count = u16::try_from(h.peers.len()).expect("invariant: MAX_PEERS fits u16");
             out.extend_from_slice(&count.to_le_bytes());
@@ -1100,6 +1186,21 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for entry in entries {
                 push_name(&mut out, &entry.name);
                 push_blob(&mut out, &entry.payload);
+            }
+        }
+        Response::Scrub(report) => {
+            out.push(status::SCRUB);
+            out.extend_from_slice(&report.rounds.to_le_bytes());
+            out.extend_from_slice(&report.records.to_le_bytes());
+            out.extend_from_slice(&report.corrupt_found.to_le_bytes());
+            out.extend_from_slice(&report.repaired.to_le_bytes());
+            out.extend_from_slice(&report.quarantined.to_le_bytes());
+            out.extend_from_slice(&report.last_scrub_age_ms.to_le_bytes());
+            assert!(report.names.len() <= MAX_SCRUB_PAGE, "invariant: servers cap scrub pages");
+            let count = u16::try_from(report.names.len()).expect("invariant: MAX_SCRUB_PAGE fits u16");
+            out.extend_from_slice(&count.to_le_bytes());
+            for name in &report.names {
+                push_name(&mut out, name);
             }
         }
         Response::Busy => out.push(status::BUSY),
@@ -1303,6 +1404,7 @@ pub fn decode_request_budget(body: &[u8]) -> Result<(Request, u32), ProtoError> 
         op::LIST => Request::List,
         op::LIST_PAGE => Request::ListPage { after: c.cursor()? },
         op::DELETE => Request::Delete { name: c.name()? },
+        op::SCRUB => Request::Scrub { trigger: c.flag()?, after: c.cursor()? },
         op::HEALTH => Request::Health,
         op::SHUTDOWN => Request::Shutdown,
         other => return Err(ProtoError::UnknownOp(other)),
@@ -1361,6 +1463,12 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
                 expired: c.u64()?,
                 retry_exhausted: c.u64()?,
                 breaker_open: c.u64()?,
+                scrub_rounds: c.u64()?,
+                records_scrubbed: c.u64()?,
+                corrupt_found: c.u64()?,
+                repaired: c.u64()?,
+                scrub_quarantined: c.u64()?,
+                last_scrub_age_ms: c.u64()?,
                 peers: Vec::new(),
             };
             let count = usize::from(c.u16()?);
@@ -1411,6 +1519,28 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::Sketches(entries)
         }
+        status::SCRUB => {
+            let mut report = ScrubReport {
+                rounds: c.u64()?,
+                records: c.u64()?,
+                corrupt_found: c.u64()?,
+                repaired: c.u64()?,
+                quarantined: c.u64()?,
+                last_scrub_age_ms: c.u64()?,
+                names: Vec::new(),
+            };
+            let count = usize::from(c.u16()?);
+            if count > MAX_SCRUB_PAGE {
+                return Err(ProtoError::FieldTooLarge { got: count, max: MAX_SCRUB_PAGE });
+            }
+            // Bound the allocation by bytes present: each name costs ≥ 3
+            // wire bytes, so a lying count fails fast on Truncated.
+            report.names.reserve(count.min(c.remaining() / 3 + 1));
+            for _ in 0..count {
+                report.names.push(c.name()?);
+            }
+            Response::Scrub(report)
+        }
         status::BUSY => Response::Busy,
         status::READ_ONLY => Response::ReadOnly,
         status::EXPIRED => Response::Expired,
@@ -1450,6 +1580,8 @@ mod tests {
         round_trip_request(Request::ListPage { after: "resume-after-me".into() });
         round_trip_request(Request::Delete { name: "doomed".into() });
         round_trip_request(Request::Health);
+        round_trip_request(Request::Scrub { trigger: false, after: String::new() });
+        round_trip_request(Request::Scrub { trigger: true, after: "resume-after-me".into() });
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::BatchPut {
             name: "events".into(),
@@ -1554,6 +1686,12 @@ mod tests {
             expired: 314,
             retry_exhausted: 27,
             breaker_open: 9,
+            scrub_rounds: 6,
+            records_scrubbed: 4242,
+            corrupt_found: 3,
+            repaired: 2,
+            scrub_quarantined: 1,
+            last_scrub_age_ms: 1500,
             peers: vec![
                 PeerHealth {
                     addr: "10.0.0.7:7700".into(),
@@ -1839,6 +1977,7 @@ mod tests {
             Request::ListPage { after: "after".into() },
             Request::Delete { name: "d".into() },
             Request::Health,
+            Request::Scrub { trigger: true, after: "cursor".into() },
             Request::Shutdown,
             Request::BatchPut {
                 name: "b".into(),
@@ -1896,6 +2035,75 @@ mod tests {
     }
 
     #[test]
+    fn health_scrub_counters_round_trip() {
+        round_trip_response(Response::Health(Health {
+            scrub_rounds: 7,
+            records_scrubbed: u64::MAX,
+            corrupt_found: 11,
+            repaired: 10,
+            scrub_quarantined: 1,
+            last_scrub_age_ms: u64::MAX,
+            ..Health::default()
+        }));
+    }
+
+    #[test]
+    fn scrub_messages_round_trip() {
+        round_trip_request(Request::Scrub { trigger: false, after: String::new() });
+        round_trip_request(Request::Scrub { trigger: true, after: "after-me".into() });
+        round_trip_response(Response::Scrub(ScrubReport::default()));
+        round_trip_response(Response::Scrub(ScrubReport {
+            rounds: 3,
+            records: 999,
+            corrupt_found: 4,
+            repaired: 3,
+            quarantined: 1,
+            last_scrub_age_ms: u64::MAX,
+            names: vec!["fenced-a".into(), "fenced-b".into()],
+        }));
+        round_trip_response(Response::Scrub(ScrubReport {
+            names: (0..MAX_SCRUB_PAGE).map(|i| format!("q{i:03}")).collect(),
+            ..ScrubReport::default()
+        }));
+        round_trip_response(Response::Err {
+            code: ErrCode::CorruptQuarantined,
+            message: "sketch \"x\" is quarantined".into(),
+        });
+    }
+
+    #[test]
+    fn scrub_adversarial_bodies_are_typed_errors() {
+        // SCRUB request with an oversized cursor length claim.
+        let mut b = vec![PROTO_VERSION, op::SCRUB, 1];
+        b.extend_from_slice(&u16::try_from(MAX_NAME_LEN + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_NAME_LEN + 1, max: MAX_NAME_LEN })
+        );
+        // SCRUB request cut off before the cursor.
+        let b = vec![PROTO_VERSION, op::SCRUB];
+        assert!(matches!(decode_request(&b), Err(ProtoError::Truncated { .. })));
+        // SCRUB response with a name count over the page cap: rejected
+        // before any name bytes are believed.
+        let mut b = encode_response(&Response::Scrub(ScrubReport::default()));
+        let n = b.len();
+        b[n - 2..].copy_from_slice(&u16::try_from(MAX_SCRUB_PAGE + 1).unwrap().to_le_bytes());
+        assert_eq!(
+            decode_response(&b),
+            Err(ProtoError::FieldTooLarge { got: MAX_SCRUB_PAGE + 1, max: MAX_SCRUB_PAGE })
+        );
+        // SCRUB response lying about its name count.
+        let mut b = encode_response(&Response::Scrub(ScrubReport::default()));
+        let n = b.len();
+        b[n - 2..].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(decode_response(&b), Err(ProtoError::Truncated { .. })));
+        // Trailing junk after a complete report.
+        let mut b = encode_response(&Response::Scrub(ScrubReport::default()));
+        b.push(0);
+        assert_eq!(decode_response(&b), Err(ProtoError::TrailingBytes(1)));
+    }
+
+    #[test]
     fn error_code_bytes_round_trip() {
         for code in [
             ErrCode::BadFrame,
@@ -1907,6 +2115,7 @@ mod tests {
             ErrCode::Incompatible,
             ErrCode::Store,
             ErrCode::Unavailable,
+            ErrCode::CorruptQuarantined,
             ErrCode::Other(77),
         ] {
             assert_eq!(ErrCode::from_byte(code.to_byte()), code);

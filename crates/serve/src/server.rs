@@ -37,12 +37,13 @@ use std::time::{Duration, Instant};
 use hmh_core::format;
 use hmh_core::{HmhParams, HyperMinHash};
 use hmh_hash::RandomOracle;
-use hmh_store::{FileBackend, SketchStore, StoreError, StoreOptions};
+use hmh_store::{FileBackend, RetryPolicy, SketchStore, StoreError, StoreOptions, SCRUB_SLICE_BYTES};
 
 use crate::proto::{
     decode_request_budget, encode_response, write_frame, write_frames_vectored, DigestEntry,
-    ErrCode, FrameBuffer, FrameError, Health, PeerHealth, Request, Response, SyncEntry,
-    MAX_DIGEST_ENTRIES, MAX_FRAME_LEN, MAX_LIST_NAMES, MAX_PIPELINE_DEPTH, MAX_SYNC_NAMES,
+    ErrCode, FrameBuffer, FrameError, Health, PeerHealth, Request, Response, ScrubReport,
+    SyncEntry, MAX_DIGEST_ENTRIES, MAX_FRAME_LEN, MAX_LIST_NAMES, MAX_PIPELINE_DEPTH,
+    MAX_SCRUB_PAGE, MAX_SYNC_NAMES,
 };
 
 /// Daemon configuration.
@@ -58,6 +59,14 @@ pub struct ServeOptions {
     pub write_timeout: Duration,
     /// Frame body ceiling (tests shrink it; the protocol caps it anyway).
     pub max_frame: usize,
+    /// Pacing interval between background scrub slices. Actual pacing is
+    /// jittered up to +50% through the store's backoff schedule (the
+    /// same pacer anti-entropy uses) so co-located daemons decorrelate.
+    /// `Duration::ZERO` disables the background scrub thread entirely.
+    pub scrub_interval: Duration,
+    /// Committed log bytes one background scrub slice re-verifies under
+    /// the store lock; bounds how long a slice can block writers.
+    pub scrub_slice: usize,
     /// Store options for the underlying [`SketchStore`].
     pub store: StoreOptions,
 }
@@ -70,6 +79,8 @@ impl Default for ServeOptions {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_frame: MAX_FRAME_LEN,
+            scrub_interval: Duration::from_secs(1),
+            scrub_slice: SCRUB_SLICE_BYTES,
             store: StoreOptions::default(),
         }
     }
@@ -275,7 +286,60 @@ pub fn serve(
                 .spawn(move || worker_loop(&worker_shared))?,
         );
     }
+    if opts.scrub_interval > Duration::ZERO {
+        let scrub_shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("hmh-serve-scrub".into())
+                .spawn(move || scrub_loop(&scrub_shared))?,
+        );
+    }
     Ok(ServerHandle { addr, shared, threads })
+}
+
+/// The background scrub: one bounded slice of checksum re-verification
+/// per paced tick. Pacing reuses the store's jittered backoff schedule
+/// with base = cap = the configured interval — exactly how the
+/// anti-entropy engine paces rounds — so each sleep lands in
+/// interval..1.5×interval and co-located daemons decorrelate. The sleep
+/// happens *outside* the store lock, in poll-tick pieces that re-check
+/// shutdown; only the slice itself runs under the lock, so the scrub
+/// never blocks writers longer than one bounded slice and never delays
+/// drain-then-exit by more than a tick.
+fn scrub_loop(shared: &Shared) {
+    let interval = shared.opts.scrub_interval;
+    let mut pacing = RetryPolicy::default().with_jitter_seed(0x5343_5255_4250_4143); // "SCRUBPAC"
+    pacing.base_delay = interval;
+    pacing.max_delay = interval;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        sleep_sliced(pacing.backoff_delay(1), shared);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // A store that failed a write is suspect: scrub repair writes
+        // (compaction), so a read-only daemon skips slices and leaves
+        // the evidence on disk for the operator restart.
+        if shared.read_only.load(Ordering::SeqCst) {
+            continue;
+        }
+        let result = shared.store().scrub_slice(shared.opts.scrub_slice);
+        if let Err(StoreError::Io(_)) = result {
+            // The scrub could not make a repair durable: same sticky
+            // degradation as a failed client write.
+            shared.read_only.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Sleep for `total` in poll-tick pieces, re-checking the shutdown flag
+/// so drain is never blocked behind a full scrub interval.
+fn sleep_sliced(total: Duration, shared: &Shared) {
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !shared.shutdown.load(Ordering::SeqCst) {
+        let slice = remaining.min(POLL_TICK);
+        thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+    }
 }
 
 fn accept_loop(shared: &Shared, listener: &TcpListener) {
@@ -493,10 +557,17 @@ fn handle_request(shared: &Shared, request: Request) -> (Response, Disposition) 
         Request::BatchPut { name, p, q, r, algorithm, seed, items } => {
             batch_put(shared, &name, (p, q, r), algorithm, seed, &items)
         }
-        Request::Get { name } => match shared.store().get_encoded(&name) {
-            Some(bytes) => Response::Sketch(bytes.to_vec()),
-            None => not_found(&name),
-        },
+        Request::Get { name } => {
+            let store = shared.store();
+            match store.get_encoded(&name) {
+                Some(bytes) => Response::Sketch(bytes.to_vec()),
+                // A fenced name is typed, never a torn payload and never
+                // a silent NOT_FOUND that would let a caller conclude
+                // the data never existed.
+                None if store.is_quarantined(&name) => quarantined(&name),
+                None => not_found(&name),
+            }
+        }
         Request::Card { name } => match decoded(shared, &name) {
             Ok(sketch) => Response::Value(sketch.cardinality()),
             Err(resp) => resp,
@@ -521,6 +592,7 @@ fn handle_request(shared: &Shared, request: Request) -> (Response, Disposition) 
             Response::Digests(digest_page(&shared.store(), &after, MAX_DIGEST_ENTRIES))
         }
         Request::Sync { names } => sync_page(shared, &names),
+        Request::Scrub { trigger, after } => scrub_op(shared, trigger, &after),
         Request::Shutdown => return (Response::Ok, Disposition::Shutdown),
     };
     (resp, Disposition::KeepAlive)
@@ -570,6 +642,45 @@ fn not_found(name: &str) -> Response {
     Response::Err { code: ErrCode::NotFound, message: format!("no sketch named {name:?}") }
 }
 
+fn quarantined(name: &str) -> Response {
+    Response::Err {
+        code: ErrCode::CorruptQuarantined,
+        message: format!(
+            "sketch {name:?} is quarantined: its stored bytes failed the checksum scrub and \
+             no valid copy survives here; read-repair or a fresh write releases it"
+        ),
+    }
+}
+
+/// SCRUB: optionally run one full pass, then report lifetime counters
+/// plus one page of quarantined names. Triggering can write (findings
+/// are repaired by compaction), so it respects read-only degradation
+/// like every other write; the status form is a pure read and always
+/// answers — a degraded replica must still be able to enumerate its
+/// fence for read-repair.
+fn scrub_op(shared: &Shared, trigger: bool, after: &str) -> Response {
+    let mut store = shared.store();
+    if trigger {
+        if shared.read_only.load(Ordering::SeqCst) {
+            return Response::ReadOnly;
+        }
+        if let Err(e) = store.scrub_full(shared.opts.scrub_slice) {
+            drop(store);
+            return commit_result(shared, Err(e));
+        }
+    }
+    let stats = store.scrub_stats();
+    Response::Scrub(ScrubReport {
+        rounds: stats.rounds,
+        records: stats.records,
+        corrupt_found: stats.corrupt_found,
+        repaired: stats.repaired,
+        quarantined: store.quarantined_count() as u64,
+        last_scrub_age_ms: store.last_scrub_age_ms().unwrap_or(u64::MAX),
+        names: store.quarantined_page(after, MAX_SCRUB_PAGE),
+    })
+}
+
 // The Err variant is a ready-to-send Response (Health grew past the
 // clippy size bar); it is written to the socket immediately, never
 // propagated, so boxing would only add an allocation on the error path.
@@ -577,7 +688,7 @@ fn not_found(name: &str) -> Response {
 fn decoded(shared: &Shared, name: &str) -> Result<HyperMinHash, Response> {
     let store = shared.store();
     let Some(bytes) = store.get_encoded(name) else {
-        return Err(not_found(name));
+        return Err(if store.is_quarantined(name) { quarantined(name) } else { not_found(name) });
     };
     format::decode(bytes)
         .map_err(|e| Response::Err { code: ErrCode::BadSketch, message: e.to_string() })
@@ -716,6 +827,9 @@ fn commit_result(shared: &Shared, result: Result<(), StoreError>) -> Response {
 fn health_snapshot(shared: &Shared) -> Health {
     let mut store = shared.store();
     let (sketches, fsck) = (store.len(), store.fsck());
+    let scrub = store.scrub_stats();
+    let scrub_quarantined = store.quarantined_count() as u64;
+    let last_scrub_age_ms = store.last_scrub_age_ms().unwrap_or(u64::MAX);
     drop(store);
     let (store_clean, quarantined, truncated_tail) = match fsck {
         Ok(report) => (report.is_clean(), report.quarantined as u64, report.truncated_tail),
@@ -746,6 +860,12 @@ fn health_snapshot(shared: &Shared) -> Health {
         // plain daemon never opens one.
         retry_exhausted: shared.replication.yields(),
         breaker_open: 0,
+        scrub_rounds: scrub.rounds,
+        records_scrubbed: scrub.records,
+        corrupt_found: scrub.corrupt_found,
+        repaired: scrub.repaired,
+        scrub_quarantined,
+        last_scrub_age_ms,
         peers,
     }
 }
@@ -805,6 +925,165 @@ mod tests {
             serve(&dir, "127.0.0.1:0", test_opts()),
             Err(ServeError::Store(StoreError::Locked(_)))
         ));
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn exchange(conn: &mut TcpStream, req: &Request) -> Response {
+        write_frame(conn, &crate::proto::encode_request(req)).unwrap();
+        let body = read_frame(conn, MAX_FRAME_LEN).unwrap().unwrap();
+        crate::proto::decode_response(&body).unwrap()
+    }
+
+    /// Flip one payload byte of the record holding `name` in whichever
+    /// store file contains it, corrupting its checksum on disk.
+    fn flip_record_payload(dir: &std::path::Path, name: &str) {
+        for file in ["wal.hmr", "snapshot.hmr"] {
+            let path = dir.join(file);
+            let Ok(mut bytes) = std::fs::read(&path) else { continue };
+            // Locate the record's name field: the name bytes preceded by
+            // their u16 length at the header's name_len offset (6 bytes
+            // before the name, with payload_len in between).
+            let name_bytes = name.as_bytes();
+            let hit = bytes.windows(name_bytes.len()).enumerate().find_map(|(i, w)| {
+                if w != name_bytes || i < 6 {
+                    return None;
+                }
+                let len = u16::from_le_bytes([bytes[i - 6], bytes[i - 5]]);
+                (usize::from(len) == name_bytes.len()).then_some(i)
+            });
+            if let Some(i) = hit {
+                // Flip a byte a little way into the payload (which is
+                // hundreds of bytes of encoded sketch).
+                bytes[i + name_bytes.len() + 8] ^= 0x01;
+                std::fs::write(&path, &bytes).unwrap();
+                return;
+            }
+        }
+        panic!("record for {name:?} not found in either store file");
+    }
+
+    #[test]
+    fn corrupt_record_is_fenced_typed_and_released_by_a_valid_write() {
+        let dir = tmpdir("fence");
+        {
+            let mut store = SketchStore::open_opts(&dir, StoreOptions::no_sleep()).unwrap();
+            store.put_encoded("good", &sketch_bytes(0, 400)).unwrap();
+            store.put_encoded("bad", &sketch_bytes(400, 800)).unwrap();
+        }
+        flip_record_payload(&dir, "bad");
+
+        let handle = serve(&dir, "127.0.0.1:0", test_opts()).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+
+        // The healthy record still serves; the corrupt one is fenced
+        // with a typed error, never a torn payload.
+        assert_eq!(
+            exchange(&mut conn, &Request::Get { name: "good".into() }),
+            Response::Sketch(sketch_bytes(0, 400))
+        );
+        match exchange(&mut conn, &Request::Get { name: "bad".into() }) {
+            Response::Err { code: ErrCode::CorruptQuarantined, .. } => {}
+            other => panic!("expected CorruptQuarantined, got {other:?}"),
+        }
+        // CARD on a fenced name is the same typed refusal.
+        match exchange(&mut conn, &Request::Card { name: "bad".into() }) {
+            Response::Err { code: ErrCode::CorruptQuarantined, .. } => {}
+            other => panic!("expected CorruptQuarantined, got {other:?}"),
+        }
+        // SCRUB status enumerates the fence.
+        match exchange(&mut conn, &Request::Scrub { trigger: false, after: String::new() }) {
+            Response::Scrub(report) => {
+                assert_eq!(report.quarantined, 1);
+                assert_eq!(report.names, vec!["bad".to_string()]);
+                assert!(report.corrupt_found >= 1, "{report:?}");
+            }
+            other => panic!("expected Scrub, got {other:?}"),
+        }
+        // A validated write releases the fence.
+        let fresh = sketch_bytes(800, 1200);
+        assert_eq!(
+            exchange(&mut conn, &Request::Put { name: "bad".into(), sketch: fresh.clone() }),
+            Response::Ok
+        );
+        assert_eq!(
+            exchange(&mut conn, &Request::Get { name: "bad".into() }),
+            Response::Sketch(fresh)
+        );
+        match exchange(&mut conn, &Request::Scrub { trigger: false, after: String::new() }) {
+            Response::Scrub(report) => {
+                assert_eq!(report.quarantined, 0);
+                assert!(report.names.is_empty());
+                assert!(report.repaired >= 1, "{report:?}");
+            }
+            other => panic!("expected Scrub, got {other:?}"),
+        }
+        drop(conn);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_trigger_verifies_every_record_and_reports_clean() {
+        let dir = tmpdir("scrub-trigger");
+        // Background scrub off: the triggered pass must do the counting.
+        let opts = ServeOptions { scrub_interval: Duration::ZERO, ..test_opts() };
+        let handle = serve(&dir, "127.0.0.1:0", opts).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        for (name, lo) in [("a", 0u64), ("b", 300), ("c", 600)] {
+            let req = Request::Put { name: name.into(), sketch: sketch_bytes(lo, lo + 300) };
+            assert_eq!(exchange(&mut conn, &req), Response::Ok);
+        }
+        match exchange(&mut conn, &Request::Scrub { trigger: true, after: String::new() }) {
+            Response::Scrub(report) => {
+                assert!(report.rounds >= 1, "{report:?}");
+                assert!(report.records >= 3, "{report:?}");
+                assert_eq!(report.corrupt_found, 0);
+                assert_eq!(report.quarantined, 0);
+                assert!(report.last_scrub_age_ms < u64::MAX, "age must be reported");
+            }
+            other => panic!("expected Scrub, got {other:?}"),
+        }
+        // HEALTH carries the same counters.
+        match exchange(&mut conn, &Request::Health) {
+            Response::Health(h) => {
+                assert!(h.scrub_rounds >= 1, "{h:?}");
+                assert!(h.records_scrubbed >= 3, "{h:?}");
+                assert_eq!(h.corrupt_found, 0);
+                assert_eq!(h.scrub_quarantined, 0);
+                assert!(h.last_scrub_age_ms < u64::MAX);
+            }
+            other => panic!("expected Health, got {other:?}"),
+        }
+        drop(conn);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_scrub_runs_without_a_trigger() {
+        let dir = tmpdir("scrub-bg");
+        let opts = ServeOptions { scrub_interval: Duration::from_millis(20), ..test_opts() };
+        let handle = serve(&dir, "127.0.0.1:0", opts).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let put = Request::Put { name: "bg".into(), sketch: sketch_bytes(0, 200) };
+        assert_eq!(exchange(&mut conn, &put), Response::Ok);
+        // An empty pair of files scrubs in one slice per tick; a couple
+        // of intervals is plenty for at least one full pass.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match exchange(&mut conn, &Request::Scrub { trigger: false, after: String::new() }) {
+                Response::Scrub(report) if report.rounds >= 1 => break,
+                Response::Scrub(_) if Instant::now() < deadline => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("background scrub never completed a pass: {other:?}"),
+            }
+        }
+        drop(conn);
         handle.join();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -209,22 +209,92 @@ impl FaultPlan {
     }
 }
 
+/// Seeded schedule for **bit rot at rest**: between backend operations,
+/// flip `flips` bits somewhere in the already-committed `.hmr` log bytes
+/// with probability `rot_rate`/256 per operation. Unlike [`FaultPlan`]
+/// (which fails the *operation*), rot silently mutates bytes that were
+/// successfully fsynced long ago — the corruption class the online
+/// scrub exists to catch. SplitMix64-scheduled: the same seed replays
+/// the same flips at the same points in the operation stream.
+#[derive(Debug, Clone)]
+pub struct BitRotPlan {
+    rng: SplitMix64,
+    /// Chance out of 256 that any given backend op is preceded by rot.
+    pub rot_rate: u8,
+    /// Bits flipped per rot event.
+    pub flips: u32,
+}
+
+impl BitRotPlan {
+    /// Schedule with roughly `rot_rate`/256 of ops preceded by `flips`
+    /// bit flips.
+    pub fn new(seed: u64, rot_rate: u8, flips: u32) -> Self {
+        Self { rng: SplitMix64::new(seed), rot_rate, flips }
+    }
+}
+
 /// A [`Backend`] wrapper that injects faults from a [`FaultPlan`] into
 /// every mutating operation. Reads are never faulted: the harness models
 /// write-path crashes and at-rest corruption, not read errors (the
 /// salvage scan handles whatever bytes reads return).
+///
+/// With [`Self::with_bit_rot`], the wrapper additionally rots committed
+/// bytes between operations (reads included — rot does not wait for a
+/// write to land), through a shared [`MemBackend`] handle so the flips
+/// hit the at-rest image directly.
 #[derive(Debug)]
 pub struct FaultyIo<B: Backend> {
     inner: B,
     plan: FaultPlan,
+    rot: Option<(BitRotPlan, MemBackend)>,
     /// Count of faults actually injected (for harness assertions).
     pub injected: usize,
+    /// Count of at-rest bits actually flipped by the bit-rot schedule.
+    pub rotted_bits: usize,
 }
 
 impl<B: Backend> FaultyIo<B> {
     /// Wrap `inner`, drawing faults from `plan`.
     pub fn new(inner: B, plan: FaultPlan) -> Self {
-        Self { inner, plan, injected: 0 }
+        Self { inner, plan, rot: None, injected: 0, rotted_bits: 0 }
+    }
+
+    /// Enable at-rest bit rot, flipping bits of `disk`'s committed
+    /// `.hmr` files on `plan`'s schedule. `disk` should be a clone of
+    /// the backend under `inner` so the flips land on the same image
+    /// the store reads back.
+    pub fn with_bit_rot(mut self, plan: BitRotPlan, disk: MemBackend) -> Self {
+        self.rot = Some((plan, disk));
+        self
+    }
+
+    /// Apply scheduled rot before an operation touches the backend.
+    fn maybe_rot(&mut self) {
+        let Some((plan, disk)) = &mut self.rot else { return };
+        let roll = plan.rng.next_u64();
+        if (roll & 0xff) as u8 >= plan.rot_rate {
+            return;
+        }
+        for _ in 0..plan.flips {
+            // Target only the record logs: rot is about committed
+            // sketch state, not lock files or temp staging.
+            let targets: Vec<PathBuf> = disk
+                .paths()
+                .into_iter()
+                .filter(|p| p.extension().is_some_and(|e| e == "hmr"))
+                .filter(|p| disk.len(p).unwrap_or(0) > 0)
+                .collect();
+            if targets.is_empty() {
+                return;
+            }
+            let path = &targets[(plan.rng.next_u64() % targets.len() as u64) as usize];
+            let len = disk.len(path).unwrap_or(0);
+            let byte = (plan.rng.next_u64() % len as u64) as usize;
+            let bit = (plan.rng.next_u64() % 8) as u32;
+            if disk.flip_bit(path, byte, bit) {
+                self.rotted_bits += 1;
+            }
+        }
     }
 
     /// The wrapped backend.
@@ -274,22 +344,27 @@ impl<B: Backend> FaultyIo<B> {
 
 impl<B: Backend> Backend for FaultyIo<B> {
     fn read(&mut self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        self.maybe_rot();
         self.inner.read(path)
     }
 
     fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.maybe_rot();
         self.faulted_write(path, data, B::append)
     }
 
     fn write_new(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.maybe_rot();
         self.faulted_write(path, data, B::write_new)
     }
 
     fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()> {
+        self.maybe_rot();
         self.faulted_op(|b| b.truncate(path, len))
     }
 
     fn fsync(&mut self, path: &Path) -> io::Result<()> {
+        self.maybe_rot();
         self.faulted_op(|b| b.fsync(path))
     }
 

@@ -46,8 +46,11 @@ pub mod retry;
 pub mod store;
 
 pub use backend::{atomic_write, atomic_write_file, sibling_tmp, Backend, FileBackend};
-pub use fault::{Fault, FaultPlan, FaultyIo, MemBackend};
+pub use fault::{BitRotPlan, Fault, FaultPlan, FaultyIo, MemBackend};
 pub use lock::{LockError, StoreLock, LOCK_FILE};
-pub use log::{Record, RecordKind, RecoveryReport, Salvage, DIGEST_SEED};
+pub use log::{CorruptSpan, Record, RecordKind, RecoveryReport, Salvage, ScanStep, DIGEST_SEED};
 pub use retry::{is_transient, RetryPolicy};
-pub use store::{SketchStore, StoreError, StoreOptions, QUARANTINE_FILE, SNAPSHOT_FILE, WAL_FILE};
+pub use store::{
+    FsckDetail, ScrubFinding, ScrubSlice, ScrubStats, SketchStore, StoreError, StoreOptions,
+    QUARANTINE_FILE, QUARANTINE_NAMES_FILE, SCRUB_SLICE_BYTES, SNAPSHOT_FILE, WAL_FILE,
+};

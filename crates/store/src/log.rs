@@ -124,6 +124,91 @@ pub struct Salvage {
     pub report: RecoveryReport,
     /// Byte ranges `(start, end)` of the quarantined regions.
     pub quarantined_ranges: Vec<(usize, usize)>,
+    /// Per-record detail for the quarantined regions: best-effort
+    /// attribution of each corrupt record (its name, where it sits, and
+    /// the checksum mismatch), for fsck reporting and name-level
+    /// quarantine. A region whose header is itself unreadable yields one
+    /// unattributed span (`name: None`, checksums zero).
+    pub corrupt_spans: Vec<CorruptSpan>,
+}
+
+/// One corrupt record (or unparseable region) located by a scan.
+///
+/// `name` is best-effort: it is recovered only when the record header
+/// and name bytes still parse (the common single-bit-rot case). A flip
+/// inside the name bytes themselves attributes the span to the wrong
+/// name — the checksum cannot say *which* bytes lied — so name-level
+/// consumers must treat attribution as a hint, with digest-based
+/// anti-entropy as the backstop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptSpan {
+    /// Byte offset of the span within its file.
+    pub offset: usize,
+    /// Span length in bytes.
+    pub len: usize,
+    /// Record name, when the header and name bytes still parse.
+    pub name: Option<String>,
+    /// Checksum the record trailer claims (0 when unattributed).
+    pub expected: u64,
+    /// Checksum the surviving bytes actually hash to (0 when unattributed).
+    pub actual: u64,
+}
+
+/// Probe a corrupt region for a plausibly-framed record at `pos`: magic
+/// and kind intact, lengths within caps, full record bytes present. The
+/// checksum necessarily fails (that is why the region is corrupt) but
+/// the mismatch pair and the name are recoverable.
+fn probe_record(buf: &[u8], pos: usize, end: usize) -> Option<CorruptSpan> {
+    let rest = &buf[pos..];
+    if rest.len() < RECORD_HEADER || rest[..4] != RECORD_MAGIC {
+        return None;
+    }
+    RecordKind::from_byte(rest[4])?;
+    let name_len = u16::from_le_bytes([rest[5], rest[6]]) as usize;
+    let payload_len = u32::from_le_bytes([rest[7], rest[8], rest[9], rest[10]]) as usize;
+    if name_len > MAX_NAME_LEN || payload_len > MAX_PAYLOAD_LEN {
+        return None;
+    }
+    let total = RECORD_HEADER + name_len + payload_len + RECORD_TRAILER;
+    if rest.len() < total || pos + total > end {
+        return None;
+    }
+    let body_end = total - RECORD_TRAILER;
+    let expected = u64::from_le_bytes(
+        rest[body_end..total].try_into().expect("invariant: trailer slice is 8 bytes"),
+    );
+    let actual = xxh64(&rest[..body_end], RECORD_SEED);
+    let name = std::str::from_utf8(&rest[RECORD_HEADER..RECORD_HEADER + name_len])
+        .ok()
+        .map(str::to_string);
+    Some(CorruptSpan { offset: pos, len: total, name, expected, actual })
+}
+
+/// Attribution cap per quarantined region: a trashed region full of
+/// spurious magics must not balloon the span list.
+const MAX_SPANS_PER_REGION: usize = 8;
+
+/// Best-effort per-record detail for one quarantined region.
+fn attribute_region(buf: &[u8], start: usize, end: usize) -> Vec<CorruptSpan> {
+    let mut spans = Vec::new();
+    let mut pos = start;
+    while pos < end && spans.len() < MAX_SPANS_PER_REGION {
+        match probe_record(buf, pos, end) {
+            Some(span) => {
+                let next = pos + span.len;
+                spans.push(span);
+                pos = next;
+            }
+            None => match find_magic(buf, pos + 1) {
+                Some(hit) if hit < end => pos = hit,
+                _ => break,
+            },
+        }
+    }
+    if spans.is_empty() {
+        spans.push(CorruptSpan { offset: start, len: end - start, name: None, expected: 0, actual: 0 });
+    }
+    spans
 }
 
 /// Encode one record.
@@ -237,7 +322,7 @@ pub fn salvage_scan(buf: &[u8]) -> Salvage {
                 }
                 match resumed {
                     Some(hit) => {
-                        out.quarantined_region(start, hit);
+                        out.quarantined_region(buf, start, hit);
                         pos = hit;
                     }
                     None => {
@@ -247,11 +332,11 @@ pub fn salvage_scan(buf: &[u8]) -> Salvage {
                         match tail_torn {
                             Some(torn) => {
                                 if torn > start {
-                                    out.quarantined_region(start, torn);
+                                    out.quarantined_region(buf, start, torn);
                                 }
                                 out.report.truncated_tail = true;
                             }
-                            None => out.quarantined_region(start, buf.len()),
+                            None => out.quarantined_region(buf, start, buf.len()),
                         }
                         break;
                     }
@@ -263,10 +348,69 @@ pub fn salvage_scan(buf: &[u8]) -> Salvage {
 }
 
 impl Salvage {
-    fn quarantined_region(&mut self, start: usize, end: usize) {
+    fn quarantined_region(&mut self, buf: &[u8], start: usize, end: usize) {
         self.report.quarantined += 1;
         self.quarantined_ranges.push((start, end));
+        self.corrupt_spans.extend(attribute_region(buf, start, end));
     }
+}
+
+/// One step of an incremental scan over a file image — the unit the
+/// online scrub verifies per paced slice. Unlike [`salvage_scan`] (which
+/// walks a whole file), each call inspects exactly one record (or one
+/// corrupt region) starting at `pos` and hands back where to resume, so
+/// a caller can bound the work done under a lock.
+#[derive(Debug, Clone)]
+pub enum ScanStep {
+    /// An intact record; `next` is the offset just past it.
+    Record {
+        /// The verified record's name.
+        name: String,
+        /// Put or tombstone.
+        kind: RecordKind,
+        /// Offset to resume scanning from.
+        next: usize,
+    },
+    /// A corrupt region with best-effort attribution; `next` is the
+    /// offset of the next *valid* record (or end of scan range).
+    Corrupt {
+        /// Per-record detail for the region.
+        spans: Vec<CorruptSpan>,
+        /// Offset to resume scanning from.
+        next: usize,
+    },
+    /// `pos` reached the end of the scan range.
+    End,
+}
+
+/// Inspect one record (or one maximal corrupt region) at `buf[pos..limit]`.
+///
+/// `limit` bounds what the scan believes is committed (a WAL's
+/// known-good length); a record that would run past it counts as
+/// corrupt, never as a torn tail — the scrub only looks at bytes that
+/// were once acknowledged, so anything unreadable there is rot.
+pub fn scan_step(buf: &[u8], pos: usize, limit: usize) -> ScanStep {
+    let limit = limit.min(buf.len());
+    if pos >= limit {
+        return ScanStep::End;
+    }
+    let view = &buf[..limit];
+    if let Ok((record, len)) = parse_at(view, pos) {
+        return ScanStep::Record { name: record.name, kind: record.kind, next: pos + len };
+    }
+    // Corrupt (or truncated-within-limit) region: resync exactly like
+    // salvage — the region ends at the next offset that parses as a
+    // complete, checksum-valid record.
+    let mut cursor = pos + 1;
+    let mut end = limit;
+    while let Some(hit) = find_magic(view, cursor) {
+        if parse_at(view, hit).is_ok() {
+            end = hit;
+            break;
+        }
+        cursor = hit + 1;
+    }
+    ScanStep::Corrupt { spans: attribute_region(view, pos, end), next: end }
 }
 
 /// Next offset ≥ `from` where the 4 magic bytes occur (fully).

@@ -18,10 +18,11 @@
 //! for transient errors. A record is acknowledged only after its fsync
 //! succeeds, so an acknowledged record survives any later crash.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use hmh_core::format::{self, FormatError};
 use hmh_core::HyperMinHash;
@@ -29,7 +30,8 @@ use hmh_core::HyperMinHash;
 use crate::backend::{atomic_write, Backend, FileBackend};
 use crate::lock::{LockError, StoreLock};
 use crate::log::{
-    encode_record, salvage_scan, Record, RecordKind, RecoveryReport, DIGEST_SEED, MAX_NAME_LEN,
+    encode_record, salvage_scan, scan_step, CorruptSpan, Record, RecordKind, RecoveryReport,
+    ScanStep, DIGEST_SEED, MAX_NAME_LEN,
 };
 use crate::retry::RetryPolicy;
 use hmh_hash::xxhash::xxh64;
@@ -40,6 +42,15 @@ pub const SNAPSHOT_FILE: &str = "snapshot.hmr";
 pub const WAL_FILE: &str = "wal.hmr";
 /// Quarantine dump file name.
 pub const QUARANTINE_FILE: &str = "quarantine.bin";
+/// Quarantined-name fence file: the names whose records were found
+/// corrupt with no surviving valid copy. Persisted so a crash between
+/// detection and repair never turns the fence into silent loss of the
+/// name — the next open re-fences anything still unrepaired.
+pub const QUARANTINE_NAMES_FILE: &str = "quarantine.names";
+
+/// Default scrub slice: how many committed bytes one paced scrub step
+/// re-verifies before releasing the store lock.
+pub const SCRUB_SLICE_BYTES: usize = 256 * 1024;
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +85,9 @@ pub enum StoreError {
     InvalidName(String),
     /// Another process holds the store's lock file.
     Locked(LockError),
+    /// The name's on-disk record failed its checksum and no valid copy
+    /// survives; reads are fenced until a validated write repairs it.
+    CorruptQuarantined(String),
 }
 
 impl fmt::Display for StoreError {
@@ -85,6 +99,11 @@ impl fmt::Display for StoreError {
                 write!(f, "invalid sketch name {name:?}: must be 1..={MAX_NAME_LEN} bytes")
             }
             StoreError::Locked(e) => write!(f, "{e}"),
+            StoreError::CorruptQuarantined(name) => write!(
+                f,
+                "sketch {name:?} is quarantined: its record failed the checksum scrub and \
+                 no valid copy survives; a validated write (repair) releases it"
+            ),
         }
     }
 }
@@ -96,6 +115,7 @@ impl std::error::Error for StoreError {
             StoreError::Format(e) => Some(e),
             StoreError::InvalidName(_) => None,
             StoreError::Locked(e) => Some(e),
+            StoreError::CorruptQuarantined(_) => None,
         }
     }
 }
@@ -112,6 +132,59 @@ impl From<FormatError> for StoreError {
     }
 }
 
+/// Cumulative scrub counters (process lifetime, not persisted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Completed full passes over snapshot + WAL.
+    pub rounds: u64,
+    /// Records whose checksums were re-verified (cumulative).
+    pub records: u64,
+    /// Corrupt spans found (at open or by scrub).
+    pub corrupt_found: u64,
+    /// Corrupt records repaired: rewritten from a surviving valid copy,
+    /// or released from quarantine by a validated write.
+    pub repaired: u64,
+}
+
+/// One corruption finding surfaced by a scrub step, tagged with the
+/// file it was found in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    /// `snapshot.hmr` or `wal.hmr`.
+    pub file: &'static str,
+    /// The corrupt record's location and checksum mismatch.
+    pub span: CorruptSpan,
+}
+
+/// Result of one bounded scrub step.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubSlice {
+    /// Records verified by this step.
+    pub records: u64,
+    /// Corruption found by this step.
+    pub findings: Vec<ScrubFinding>,
+    /// True when this step finished a full pass (the cursor wrapped).
+    pub completed_round: bool,
+}
+
+/// Current on-disk health with per-record corruption detail
+/// ([`SketchStore::fsck_detail`]); read-only, like `fsck`.
+#[derive(Debug, Clone, Default)]
+pub struct FsckDetail {
+    /// The summary `fsck` has always reported.
+    pub report: RecoveryReport,
+    /// Per-record corruption spans, tagged with their file.
+    pub spans: Vec<ScrubFinding>,
+}
+
+/// Where the scrub cursor sits: which file, and the byte offset of the
+/// next unverified record boundary.
+#[derive(Debug, Clone, Copy)]
+enum ScrubFile {
+    Snapshot,
+    Wal,
+}
+
 /// A crash-safe, named collection of HyperMinHash sketches.
 #[derive(Debug)]
 pub struct SketchStore<B: Backend> {
@@ -123,6 +196,15 @@ pub struct SketchStore<B: Backend> {
     wal_len: u64,
     report: RecoveryReport,
     options: StoreOptions,
+    /// Names fenced by quarantine: their on-disk record failed its
+    /// checksum and no valid copy survives. Reads return
+    /// [`StoreError::CorruptQuarantined`]; a validated write releases.
+    quarantine: BTreeSet<String>,
+    /// Incremental scrub position.
+    scrub_file: ScrubFile,
+    scrub_offset: usize,
+    scrub_stats: ScrubStats,
+    last_scrub_completed: Option<Instant>,
     /// Single-writer lock, held for real-filesystem stores ([`Self::open`]
     /// / [`Self::open_opts`]); released when the store drops. In-memory
     /// and fault-injected opens via [`Self::open_with`] skip it — they
@@ -170,6 +252,8 @@ impl<B: Backend> SketchStore<B> {
         let mut entries = BTreeMap::new();
         let mut report = RecoveryReport::default();
         let mut quarantined_bytes: Vec<u8> = Vec::new();
+        let mut corrupt_names: BTreeSet<String> = BTreeSet::new();
+        let mut corrupt_found = 0u64;
 
         let snapshot_path = dir.join(SNAPSHOT_FILE);
         let wal_path = dir.join(WAL_FILE);
@@ -184,14 +268,54 @@ impl<B: Backend> SketchStore<B> {
             for &(start, end) in &salvage.quarantined_ranges {
                 quarantined_bytes.extend_from_slice(&bytes[start..end]);
             }
+            corrupt_found += salvage.corrupt_spans.len() as u64;
+            corrupt_names.extend(salvage.corrupt_spans.into_iter().filter_map(|s| s.name));
             report.absorb(&salvage.report);
             if is_wal {
                 wal_len = bytes.len() as u64;
             }
         }
 
-        let mut store =
-            Self { backend, dir, entries, wal_len, report: report.clone(), options, lock: None };
+        // Fence every name whose record rotted with no surviving valid
+        // copy — the salvage dropped its bytes, but the *name* must not
+        // vanish silently: GET answers typed, and read-repair knows
+        // what to fetch. A name with a surviving valid record (an older
+        // snapshot version, say) is not fenced; anti-entropy catches it
+        // up like any stale replica. Names fenced by a previous process
+        // life stay fenced until a validated write repairs them.
+        let mut quarantine: BTreeSet<String> =
+            corrupt_names.into_iter().filter(|name| !entries.contains_key(name)).collect();
+        let fence_file = backend.read(&dir.join(QUARANTINE_NAMES_FILE))?;
+        let had_fence_file = fence_file.is_some();
+        if let Some(bytes) = fence_file {
+            // The fence file is itself salvage-scanned: a rotted fence
+            // file degrades to fewer fences, never to a crash.
+            quarantine.extend(
+                salvage_scan(&bytes)
+                    .records
+                    .into_iter()
+                    .filter(|r| !entries.contains_key(&r.name))
+                    .map(|r| r.name),
+            );
+        }
+
+        let mut store = Self {
+            backend,
+            dir,
+            entries,
+            wal_len,
+            report: report.clone(),
+            options,
+            quarantine,
+            scrub_file: ScrubFile::Snapshot,
+            scrub_offset: 0,
+            scrub_stats: ScrubStats { corrupt_found, ..ScrubStats::default() },
+            last_scrub_completed: None,
+            lock: None,
+        };
+        if !store.quarantine.is_empty() || had_fence_file {
+            store.persist_quarantine();
+        }
 
         if !report.is_clean() {
             // Keep the unparseable bytes for forensics (best effort —
@@ -229,6 +353,7 @@ impl<B: Backend> SketchStore<B> {
         format::decode(payload)?;
         self.append_record(name, RecordKind::Put, payload)?;
         self.entries.insert(name.to_string(), payload.to_vec());
+        self.release_quarantine(name);
         Ok(())
     }
 
@@ -237,31 +362,95 @@ impl<B: Backend> SketchStore<B> {
         let payload = format::encode(sketch);
         self.append_record(name, RecordKind::Put, &payload)?;
         self.entries.insert(name.to_string(), payload);
+        self.release_quarantine(name);
         Ok(())
     }
 
-    /// Encoded payload stored under `name`, if any.
+    /// Encoded payload stored under `name`, if any. Quarantined names
+    /// hold no payload; callers that must distinguish "absent" from
+    /// "fenced" check [`Self::is_quarantined`].
     pub fn get_encoded(&self, name: &str) -> Option<&[u8]> {
         self.entries.get(name).map(Vec::as_slice)
     }
 
-    /// Decoded sketch stored under `name`, if any.
+    /// Decoded sketch stored under `name`, if any. A quarantined name is
+    /// a typed error, never `None`: the name exists but its bytes are
+    /// fenced until repaired.
     pub fn get(&self, name: &str) -> Result<Option<HyperMinHash>, StoreError> {
         match self.entries.get(name) {
             Some(payload) => Ok(Some(format::decode(payload)?)),
+            None if self.quarantine.contains(name) => {
+                Err(StoreError::CorruptQuarantined(name.to_string()))
+            }
             None => Ok(None),
         }
     }
 
     /// Remove `name`, durably (a tombstone record). `Ok(false)` when the
-    /// name was not present (no record written).
+    /// name was not present (no record written). Removing a quarantined
+    /// name releases its fence — an explicit operator decision to give
+    /// up on the data, counted as neither repair nor loss.
     pub fn remove(&mut self, name: &str) -> Result<bool, StoreError> {
+        if self.quarantine.contains(name) {
+            self.append_record(name, RecordKind::Tombstone, &[])?;
+            self.quarantine.remove(name);
+            self.persist_quarantine();
+            return Ok(true);
+        }
         if !self.entries.contains_key(name) {
             return Ok(false);
         }
         self.append_record(name, RecordKind::Tombstone, &[])?;
         self.entries.remove(name);
         Ok(true)
+    }
+
+    /// True when `name` is fenced by quarantine.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.quarantine.contains(name)
+    }
+
+    /// Number of quarantined names.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// One page of quarantined names: up to `limit` names strictly after
+    /// `after` in sorted order — the same cursor contract as
+    /// [`Self::digest_page`], so paged retrieval over the wire
+    /// terminates for the same reason.
+    pub fn quarantined_page(&self, after: &str, limit: usize) -> Vec<String> {
+        use std::ops::Bound;
+        self.quarantine
+            .range::<str, _>((Bound::Excluded(after), Bound::Unbounded))
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Release `name` from quarantine after a validated write landed
+    /// (the only exit besides an explicit [`Self::remove`]).
+    fn release_quarantine(&mut self, name: &str) {
+        if self.quarantine.remove(name) {
+            self.scrub_stats.repaired += 1;
+            // Best effort: if the fence-file rewrite fails the name is
+            // merely re-fenced at the next open until a write repairs
+            // it again — safe in the useless direction, never unsafe.
+            self.persist_quarantine();
+        }
+    }
+
+    /// Rewrite the fence file from the current quarantine set (atomic
+    /// replace; best effort — see callers for why that is safe).
+    fn persist_quarantine(&mut self) {
+        let mut buf = Vec::new();
+        for name in &self.quarantine {
+            buf.extend(encode_record(name, RecordKind::Put, &[]));
+        }
+        let path = self.dir.join(QUARANTINE_NAMES_FILE);
+        let mut retry = self.options.retry.clone();
+        let backend = &mut self.backend;
+        let _ = retry.run(|| atomic_write(backend, &path, &buf));
     }
 
     /// All stored names, sorted.
@@ -338,18 +527,164 @@ impl<B: Backend> SketchStore<B> {
         // healing the files does not rewrite history; `fsck` reports
         // current on-disk health.
         self.wal_len = 0;
+        // Both files were just rewritten; the scrub cursor's offsets no
+        // longer name record boundaries. Restart the pass.
+        self.scrub_file = ScrubFile::Snapshot;
+        self.scrub_offset = 0;
         Ok(())
     }
 
     /// Re-scan both files from disk and report their current health
     /// without modifying anything.
     pub fn fsck(&mut self) -> Result<RecoveryReport, StoreError> {
-        let mut report = RecoveryReport::default();
+        Ok(self.fsck_detail()?.report)
+    }
+
+    /// [`Self::fsck`] with per-record corruption spans (offset, length,
+    /// checksum expected/actual, best-effort name), tagged by file.
+    /// Read-only, like `fsck`.
+    pub fn fsck_detail(&mut self) -> Result<FsckDetail, StoreError> {
+        let mut detail = FsckDetail::default();
         for file in [SNAPSHOT_FILE, WAL_FILE] {
             let bytes = self.backend.read(&self.dir.join(file))?.unwrap_or_default();
-            report.absorb(&salvage_scan(&bytes).report);
+            let salvage = salvage_scan(&bytes);
+            detail.report.absorb(&salvage.report);
+            detail
+                .spans
+                .extend(salvage.corrupt_spans.into_iter().map(|span| ScrubFinding { file, span }));
         }
-        Ok(report)
+        Ok(detail)
+    }
+
+    /// Cumulative scrub counters.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.scrub_stats
+    }
+
+    /// Milliseconds since the last completed scrub pass (`None` until a
+    /// first pass completes).
+    pub fn last_scrub_age_ms(&self) -> Option<u64> {
+        self.last_scrub_completed
+            .map(|at| u64::try_from(at.elapsed().as_millis()).unwrap_or(u64::MAX))
+    }
+
+    /// Re-verify one bounded slice of committed on-disk records — the
+    /// online scrub's unit of work, sized so callers can hold the store
+    /// lock across a step without stalling traffic, and pace steps with
+    /// the same backoff machinery as anti-entropy.
+    ///
+    /// Every corrupt span found is handled before the step returns:
+    ///
+    /// * a record shadowed by a valid in-memory copy (the common live
+    ///   bit-rot case — memory was validated at load/put) is repaired by
+    ///   compacting, which rewrites both files from memory;
+    /// * a record with no surviving copy has its name quarantined
+    ///   (fenced reads, persisted, released only by a validated write)
+    ///   and its bytes dropped at the same compact — so a later pass
+    ///   finds a clean disk plus an honest fence, never the same rot
+    ///   twice;
+    /// * an unattributable span (header too damaged to name) is covered
+    ///   by the compact alone: memory holds every live name's bytes.
+    pub fn scrub_slice(&mut self, max_bytes: usize) -> Result<ScrubSlice, StoreError> {
+        let mut out = ScrubSlice::default();
+        let (file, path) = match self.scrub_file {
+            ScrubFile::Snapshot => (SNAPSHOT_FILE, self.dir.join(SNAPSHOT_FILE)),
+            ScrubFile::Wal => (WAL_FILE, self.dir.join(WAL_FILE)),
+        };
+        let bytes = self.backend.read(&path)?.unwrap_or_default();
+        // Only bytes we ever acknowledged are scrubbed: the WAL past
+        // `wal_len` may legitimately hold a torn append that salvage
+        // (not scrub) owns.
+        let limit = match self.scrub_file {
+            ScrubFile::Snapshot => bytes.len(),
+            ScrubFile::Wal => (self.wal_len as usize).min(bytes.len()),
+        };
+        let mut pos = self.scrub_offset.min(limit);
+        let slice_end = pos.saturating_add(max_bytes.max(1)).min(limit);
+        while pos < slice_end {
+            match scan_step(&bytes, pos, limit) {
+                ScanStep::Record { next, .. } => {
+                    out.records += 1;
+                    pos = next;
+                }
+                ScanStep::Corrupt { spans, next } => {
+                    out.findings.extend(spans.into_iter().map(|span| ScrubFinding { file, span }));
+                    pos = next;
+                }
+                ScanStep::End => break,
+            }
+        }
+        self.scrub_offset = pos;
+        self.scrub_stats.records += out.records;
+
+        if pos >= limit {
+            match self.scrub_file {
+                ScrubFile::Snapshot => {
+                    self.scrub_file = ScrubFile::Wal;
+                    self.scrub_offset = 0;
+                }
+                ScrubFile::Wal => {
+                    self.scrub_file = ScrubFile::Snapshot;
+                    self.scrub_offset = 0;
+                    self.scrub_stats.rounds += 1;
+                    self.last_scrub_completed = Some(Instant::now());
+                    out.completed_round = true;
+                }
+            }
+        }
+
+        if !out.findings.is_empty() {
+            self.scrub_stats.corrupt_found += out.findings.len() as u64;
+            let mut newly_fenced = 0u64;
+            for finding in &out.findings {
+                if let Some(name) = &finding.span.name {
+                    if !self.entries.contains_key(name) && self.quarantine.insert(name.clone()) {
+                        newly_fenced += 1;
+                    }
+                }
+            }
+            if newly_fenced > 0 {
+                self.persist_quarantine();
+            }
+            // One compact handles every case: records with surviving
+            // memory copies are rewritten (repaired), and the corrupt
+            // bytes — quarantined or not — leave the disk, so the next
+            // pass starts clean. Fenced names are *not* repaired by
+            // this (they have no bytes to rewrite); they stay fenced.
+            self.compact()?;
+            self.scrub_stats.repaired +=
+                (out.findings.len() as u64).saturating_sub(newly_fenced);
+        }
+        Ok(out)
+    }
+
+    /// Run scrub steps until a full pass completes, accumulating what
+    /// they found — the offline `hmh store scrub` entry point.
+    ///
+    /// The loop is bounded: each step either advances the cursor by at
+    /// least one byte or completes the pass, and a step that finds
+    /// corruption compacts (shrinking the files), so the iteration
+    /// count is capped by the file sizes; the explicit ceiling below is
+    /// a belt-and-braces guard against a backend that mutates under us.
+    pub fn scrub_full(&mut self, slice_bytes: usize) -> Result<ScrubSlice, StoreError> {
+        let mut total = ScrubSlice::default();
+        let span_bytes: usize = self
+            .backend
+            .read(&self.dir.join(SNAPSHOT_FILE))?
+            .map(|b| b.len())
+            .unwrap_or(0)
+            .saturating_add(self.wal_len as usize);
+        let bound = span_bytes / slice_bytes.max(1) + 8;
+        for _ in 0..bound {
+            let slice = self.scrub_slice(slice_bytes)?;
+            total.records += slice.records;
+            total.findings.extend(slice.findings);
+            if slice.completed_round {
+                total.completed_round = true;
+                break;
+            }
+        }
+        Ok(total)
     }
 
     /// Append one record to the WAL with full durability discipline.
